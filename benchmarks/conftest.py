@@ -1,0 +1,52 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure from the paper: it runs the
+corresponding simulation experiment, prints the same rows/series the
+paper plots, asserts the headline *shape* relations, and reports the
+simulation's wall-time through pytest-benchmark (so regressions in the
+simulator itself are also visible).
+
+``REPRO_BENCH_SCALE`` (default 1) multiplies per-run operation counts;
+raise it for tighter numbers at the cost of wall time.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+import pytest
+
+#: Global scale knob for ops-per-run.
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def scaled(n: int) -> int:
+    return n * SCALE
+
+
+#: Every rendered figure table is appended here, so the reproduced
+#: numbers survive pytest's output capture (add ``-s`` to also see them
+#: live). Truncated once per benchmark session.
+FIGURES_PATH = os.path.join(os.path.dirname(__file__), "..", "benchmark_figures.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_figures_file():
+    with open(FIGURES_PATH, "w") as fh:
+        fh.write("# Reproduced figure tables from the last benchmark run\n")
+    yield
+
+
+@pytest.fixture
+def show():
+    """Print a rendered figure table and record it in
+    ``benchmark_figures.txt`` (pytest captures stdout of passing tests,
+    so the artifact file is the durable record)."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+        with open(FIGURES_PATH, "a") as fh:
+            fh.write("\n" + text + "\n")
+
+    return _show

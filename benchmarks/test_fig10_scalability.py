@@ -1,0 +1,70 @@
+"""Figure 10 — throughput vs number of client processes
+(32 B keys / 2048 B values, §6.2).
+
+Paper shapes:
+* eFactory grows ~linearly with client count in every mix;
+* "when write dominates, IMM and SAW fail to scale well" (server CPU on
+  the durability path saturates) — paper: up to 2.14×/2.18× at 16
+  clients;
+* eFactory w/o hr already improves on Forca for reads; hybrid reads add
+  more on top.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.harness.experiments import fig10_scalability, render_fig10
+
+COUNTS = (1, 4, 8, 16)
+
+
+def _run(workload):
+    return fig10_scalability(
+        workload, client_counts=COUNTS, ops=scaled(250), key_count=1024
+    )
+
+
+def test_fig10_update_only(benchmark, show):
+    data = benchmark.pedantic(
+        lambda: _run("update-only"), rounds=1, iterations=1
+    )
+    show(render_fig10("update-only", data))
+
+    # eFactory keeps scaling: 16 clients >> 4 clients.
+    assert data["efactory"][16] > 2.2 * data["efactory"][4]
+
+    # IMM and SAW trail badly at full concurrency (paper: up to
+    # 2.14x/2.18x; our calibration lands ~1.45x/1.9x — same shape).
+    assert data["efactory"][16] > 1.35 * data["imm"][16]
+    assert data["efactory"][16] > 1.6 * data["saw"][16]
+
+
+def test_fig10_read_only(benchmark, show):
+    data = benchmark.pedantic(lambda: _run("YCSB-C"), rounds=1, iterations=1)
+    show(render_fig10("YCSB-C", data))
+
+    # eFactory w/o hr improves on Forca (paper: 16-45%)...
+    assert data["efactory_nohr"][16] > 1.1 * data["forca"][16]
+    # ...and hybrid reads improve on w/o-hr further (paper: 15-23%).
+    assert data["efactory"][16] > 1.05 * data["efactory_nohr"][16]
+    # near-linear client scaling for eFactory reads
+    assert data["efactory"][16] > 2.5 * data["efactory"][4]
+
+
+def test_fig10_write_intensive(benchmark, show):
+    data = benchmark.pedantic(lambda: _run("YCSB-A"), rounds=1, iterations=1)
+    show(render_fig10("YCSB-A", data))
+    # In the unsaturated regime eFactory leads the mixed workload, as in
+    # the paper. At 16 clients our simulated op rates exceed what one
+    # background CRC thread can verify (a load regime the paper's
+    # testbed never reaches), hot objects stay unverified, and the
+    # field compresses — EXPERIMENTS.md discusses this deviation.
+    at4 = {s: data[s][4] for s in data}
+    assert at4["efactory"] >= max(
+        v for k, v in at4.items() if k != "efactory"
+    ) * 0.98
+    at16 = {s: data[s][16] for s in data}
+    assert at16["efactory"] >= max(
+        v for k, v in at16.items() if k != "efactory"
+    ) * 0.75
+    assert at16["efactory"] > at16["forca"]

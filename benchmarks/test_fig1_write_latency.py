@@ -1,0 +1,53 @@
+"""Figure 1 — latency of writing to remote NVMM with different methods.
+
+Paper shapes to reproduce (§3):
+* "using the client-active scheme can greatly improve the performance
+  (36%)" — CA w/o persistence beats RPC decisively at large values
+  (~40% at 4 KiB on our calibration);
+* "SAW performs worse than RPC for all data sizes";
+* "IMM achieves slightly better performance (5%) than RPC" — holds at
+  the large-value end; below ~1 KiB the allocation round trip makes
+  IMM/CA trail RPC on our substrate (documented in EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness.experiments import fig1_write_latency, render_fig1
+
+SIZES = (64, 1024, 4096)
+
+
+def test_fig1(benchmark, show):
+    data = benchmark.pedantic(
+        lambda: fig1_write_latency(sizes=SIZES, ops=scaled(200)),
+        rounds=1,
+        iterations=1,
+    )
+    show(render_fig1(data))
+
+    p50 = {s: {size: v[0] for size, v in by.items()} for s, by in data.items()}
+
+    # SAW is the slowest durable-write scheme at every size.
+    for size in SIZES:
+        assert p50["saw"][size] > p50["rpc"][size]
+        assert p50["saw"][size] > p50["imm"][size]
+
+    # At 4 KiB the client-active scheme wins big over RPC (paper: 36%).
+    gain = p50["rpc"][4096] / p50["ca"][4096] - 1.0
+    assert gain > 0.25, f"CA only {gain:.0%} faster than RPC at 4 KiB"
+
+    # IMM ends up slightly better than RPC at the large-value end.
+    assert p50["imm"][4096] < p50["rpc"][4096] * 1.02
+
+    # CA (no durability work at all) always beats the durable
+    # client-active schemes, and beats RPC too once data costs dominate
+    # (the crossover sits near 2 KiB on our calibration — see
+    # EXPERIMENTS.md for why the smallest sizes deviate).
+    for size in (1024, 4096):
+        for other in ("saw", "imm"):
+            assert p50["ca"][size] < p50[other][size]
+    assert p50["ca"][4096] < p50["rpc"][4096]
+
+    benchmark.extra_info["p50_us"] = {
+        s: {size: v[0] / 1000 for size, v in by.items()}
+        for s, by in data.items()
+    }

@@ -1,0 +1,40 @@
+"""Figure 2 — GET latency breakdown for Erda and Forca.
+
+Paper shapes (§3): CRC verification cost grows with value size until it
+dominates the read path — "it takes about 4.4 µs to verify a 4 KB
+object, which accounts for 45% and 35% of the read latency for Erda and
+Forca respectively".
+"""
+
+from benchmarks.conftest import scaled
+from repro.harness.experiments import fig2_get_breakdown, render_fig2
+
+SIZES = (64, 1024, 4096)
+
+
+def test_fig2(benchmark, show):
+    data = benchmark.pedantic(
+        lambda: fig2_get_breakdown(sizes=SIZES, ops=scaled(200)),
+        rounds=1,
+        iterations=1,
+    )
+    show(render_fig2(data))
+
+    for store in ("erda", "forca"):
+        shares = [data[store][s]["crc_share"] for s in SIZES]
+        # CRC share grows monotonically with value size...
+        assert shares == sorted(shares)
+        # ...and is a large fraction at 4 KiB (paper: 45% / 35%)
+        assert shares[-1] > 0.30, f"{store}: {shares[-1]:.0%}"
+        # the absolute CRC time matches the paper's own measurement
+        assert 4300 < data[store][4096]["crc_ns"] < 4500
+
+    # Erda's total read latency at 4 KiB is lower than Forca's (no RPC),
+    # so CRC is a *bigger* share for Erda — same ordering as the paper.
+    assert (
+        data["erda"][4096]["crc_share"] > data["forca"][4096]["crc_share"]
+    )
+
+    benchmark.extra_info["crc_share_4k"] = {
+        s: round(data[s][4096]["crc_share"], 3) for s in data
+    }

@@ -1,0 +1,103 @@
+"""Figure 9 — end-to-end throughput vs value size, four workloads,
+8 concurrent clients.
+
+Paper shapes (§6.1):
+* (a) read-only: eFactory ≈ IMM ≈ SAW (hybrid reads ≈ raw RDMA reads);
+  Erda degrades with size (client CRC), Forca is poor throughout
+  (server on every read); eFactory ≈ 1.96×/1.67× Erda/Forca at 4 KiB.
+* (b) read-intensive: same ordering, slightly more RPC fallbacks.
+* (c) write-intensive: eFactory highest overall.
+* (d) update-only: eFactory ≈ Erda ≈ Forca (same write path); IMM and
+  SAW trail badly (synchronous flush + extra round trips) — paper
+  ranges 0.42–2.79× over IMM and 0.66–2.85× over SAW.
+* factor analysis: hybrid read lifts read-heavy throughput over the
+  eFactory-w/o-hr ablation.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.harness.experiments import fig9_throughput, render_fig9
+
+SIZES = (64, 1024, 4096)
+
+
+def _run(workload):
+    return fig9_throughput(
+        workload, sizes=SIZES, ops=scaled(350), key_count=1024
+    )
+
+
+def test_fig9a_read_only(benchmark, show):
+    data = benchmark.pedantic(lambda: _run("YCSB-C"), rounds=1, iterations=1)
+    show(render_fig9("YCSB-C", data))
+
+    # eFactory keeps pace with the no-verification readers (paper: ~2%).
+    for size in SIZES:
+        assert data["efactory"][size] > 0.90 * data["imm"][size]
+        assert data["efactory"][size] > 0.90 * data["saw"][size]
+
+    # Erda and Forca fall behind as values grow; big gap at 4 KiB.
+    assert data["efactory"][4096] > 1.4 * data["erda"][4096]
+    assert data["efactory"][4096] > 1.4 * data["forca"][4096]
+    # ...but Erda is competitive at 64 B (the paper's footnote 2).
+    assert data["erda"][64] > 0.9 * data["efactory"][64]
+
+    # Forca is poor even at small values (always-RPC reads).
+    assert data["forca"][64] < 0.8 * data["efactory"][64]
+
+    # hybrid read beats the w/o-hr ablation on reads.
+    for size in SIZES:
+        assert data["efactory"][size] > data["efactory_nohr"][size]
+
+
+def test_fig9b_read_intensive(benchmark, show):
+    data = benchmark.pedantic(lambda: _run("YCSB-B"), rounds=1, iterations=1)
+    show(render_fig9("YCSB-B", data))
+    # eFactory still tracks IMM/SAW closely and beats Erda/Forca.
+    for size in SIZES:
+        assert data["efactory"][size] > 0.85 * data["imm"][size]
+        assert data["efactory"][size] >= data["forca"][size]
+    assert data["efactory"][4096] > 1.3 * data["forca"][4096]
+
+
+def test_fig9c_write_intensive(benchmark, show):
+    data = benchmark.pedantic(lambda: _run("YCSB-A"), rounds=1, iterations=1)
+    show(render_fig9("YCSB-A", data))
+    # "eFactory achieves the highest throughput for all the value sizes"
+    # — reproduced up to 1 KiB. At 4 KiB our calibration diverges: the
+    # single background thread cannot CRC 4 KiB objects at the write
+    # rate (4.4 us each), so ~40% of zipfian-hot reads race and fall
+    # back, and IMM (whose reads never verify) edges ahead — see
+    # EXPERIMENTS.md for the full analysis. The assertions pin what
+    # holds: decisive wins at <=1 KiB, near-parity at 4 KiB.
+    for size in (64, 1024):
+        for other in ("imm", "saw", "forca"):
+            assert data["efactory"][size] >= data[other][size], (size, other)
+        assert data["efactory"][size] >= 0.92 * data["erda"][size]
+    best_other = max(
+        v[4096] for k, v in data.items() if k != "efactory"
+    )
+    assert data["efactory"][4096] >= 0.82 * best_other
+    assert data["efactory"][4096] > data["saw"][4096] * 0.95
+
+
+def test_fig9d_update_only(benchmark, show):
+    data = benchmark.pedantic(
+        lambda: _run("update-only"), rounds=1, iterations=1
+    )
+    show(render_fig9("update-only", data))
+
+    # The async-durability write path crushes the synchronous schemes.
+    for size in SIZES:
+        assert data["efactory"][size] > 1.2 * data["imm"][size]
+        assert data["efactory"][size] > 1.4 * data["saw"][size]
+    # Improvement grows with value size (flush cost scales with data).
+    ratio_small = data["efactory"][64] / data["saw"][64]
+    ratio_big = data["efactory"][4096] / data["saw"][4096]
+    assert ratio_big > ratio_small * 0.9
+
+    # Same client-active write path => Erda/Forca are close to eFactory.
+    for size in SIZES:
+        assert data["efactory"][size] > 0.9 * data["erda"][size]
+        assert data["efactory"][size] >= 0.95 * data["forca"][size]

@@ -1,0 +1,80 @@
+"""Substrate microbenchmarks (real wall-clock, via pytest-benchmark).
+
+These watch the *simulator's* own performance: kernel event rate, verb
+round-trip cost in Python time, and CRC throughput — regressions here
+inflate every experiment's wall time.
+"""
+
+import numpy as np
+
+from repro.crc.crc32 import crc32, crc32_fast
+from repro.nvm.device import NVMDevice
+from repro.rdma.fabric import Fabric
+from repro.sim.kernel import Environment
+
+
+def test_kernel_event_rate(benchmark):
+    """Ping-pong processes: measures events/second through the kernel."""
+
+    def run():
+        env = Environment()
+
+        def ping(n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        for _ in range(4):
+            env.process(ping(2500))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 2500.0
+
+
+def test_verb_roundtrip_wall_cost(benchmark):
+    """Wall-clock cost of simulated one-sided op pairs."""
+
+    def run():
+        env = Environment()
+        fabric = Fabric(env, jitter_ns=0.0)
+        server = fabric.create_node("s", device=NVMDevice(env, 1 << 20))
+        client = fabric.create_node("c")
+        ep = fabric.connect(client, server)
+        mr = server.register_memory(0, 1 << 20)
+
+        def work():
+            for i in range(200):
+                yield from ep.write(mr.rkey, (i % 64) * 1024, b"x" * 512)
+                yield from ep.read(mr.rkey, (i % 64) * 1024, 512)
+
+        env.run(env.process(work()))
+        return env.now
+
+    assert benchmark(run) > 0
+
+
+def test_crc_fast_throughput(benchmark):
+    data = np.random.default_rng(0).bytes(1 << 20)
+    result = benchmark(crc32_fast, data)
+    assert result == crc32_fast(data)
+
+
+def test_crc_reference_small(benchmark):
+    data = bytes(range(256))
+    assert benchmark(crc32, data) == crc32_fast(data)
+
+
+def test_buffer_flush_sweep(benchmark):
+    """Dirty-tracking sweep cost (NumPy-vectorised path)."""
+    from repro.mem.buffer import PersistentBuffer
+
+    buf = PersistentBuffer(1 << 20)
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, (1 << 20) - 256, size=500)
+
+    def run():
+        for a in addrs:
+            buf.write(int(a), b"y" * 256)
+        return buf.flush(0, 1 << 20)
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Crash consistency across the design space.
+
+Pulls the plug on three stores mid-workload and audits what each
+recovers, reproducing the paper's motivating contrasts (§3, §7):
+
+* CA w/o persistence — torn objects exposed to readers;
+* Erda — atomic, but reads can travel *backwards* across the crash
+  (its index and data persist only by cache eviction);
+* eFactory — rolls torn heads back along the version list and never
+  un-reads a value (monotonic reads).
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro.harness.crash import CrashSpec, run_crash_experiment
+from repro.stores import STORES
+
+
+def describe(store: str, seed: int = 11) -> None:
+    spec = CrashSpec(
+        store=store,
+        n_clients=4,
+        key_count=48,
+        ops_before_crash=240,
+        read_fraction=0.4,
+        seed=seed,
+        evict_probability=0.3,
+    )
+    report = run_crash_experiment(spec)
+    label = STORES[store].label
+    print(f"\n{label}")
+    print(f"  completed ops before crash: {report.completed_ops}")
+    if report.recovery is not None:
+        r = report.recovery
+        print(
+            f"  recovery: {r.keys_recovered} intact latest, "
+            f"{r.keys_rolled_back} rolled back, {r.keys_lost} lost, "
+            f"{r.torn_objects} torn versions rejected"
+        )
+    else:
+        print("  recovery: none (no integrity metadata to recover with)")
+    print(f"  torn values exposed after crash:  {report.torn_exposed}")
+    print(f"  acknowledged writes lost:         {report.durability_losses}")
+    print(f"  non-monotonic reads (read, then gone): {report.monotonicity_losses}")
+    verdict = "OK" if report.ok else f"VIOLATIONS: {report.violations}"
+    print(f"  advertised guarantees: {verdict}")
+
+
+def main() -> None:
+    print("Crash injection: 4 clients, zipf-free uniform churn, power fail,")
+    print("then audit every key against the acknowledged-write history.")
+    for store in ("ca", "erda", "efactory"):
+        describe(store)
+    print(
+        "\nExpected contrast: CA tears objects, Erda un-reads data "
+        "(non-monotonic), eFactory does neither."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Raw verb pipelining with completion queues.
+
+The store clients in this library are closed-loop (one op at a time) —
+the paper's measurement methodology. Real RDMA applications keep many
+work requests in flight; this example uses the async posting layer
+(:mod:`repro.rdma.cq`) directly against a registered NVM region to show
+how per-op latency amortises with pipeline depth, and why the *wire*
+is never the client-active scheme's bottleneck.
+
+Run:  python examples/pipelined_verbs.py
+"""
+
+from repro.analysis.stats import fmt_mops, fmt_ns
+from repro.analysis.tables import Table, banner
+from repro.nvm.device import NVMDevice
+from repro.rdma.cq import CompletionQueue, post_write
+from repro.rdma.fabric import Fabric
+from repro.sim import Environment
+
+N_OPS = 400
+SIZE = 512
+
+
+def run_depth(depth: int) -> tuple[float, float]:
+    """(ops/s in Mops, mean latency ns) for a given pipeline depth."""
+    env = Environment()
+    fabric = Fabric(env)
+    server = fabric.create_node("server", device=NVMDevice(env, 8 << 20))
+    client = fabric.create_node("client")
+    ep = fabric.connect(client, server)
+    mr = server.register_memory(0, 8 << 20)
+    done = {}
+
+    def workload():
+        cq = CompletionQueue(env)
+        t0 = env.now
+        issued = 0
+        completed = 0
+        lat_total = 0.0
+        start_times = {}
+        # keep `depth` WRs outstanding at all times
+        while completed < N_OPS:
+            while issued < N_OPS and cq.outstanding < depth:
+                wid = post_write(
+                    ep, cq, mr.rkey, (issued % 1024) * SIZE, b"p" * SIZE
+                )
+                start_times[wid] = env.now
+                issued += 1
+            (wc,) = yield from cq.wait(1)
+            lat_total += env.now - start_times.pop(wc.wr_id)
+            completed += 1
+        done["span"] = env.now - t0
+        done["mean_lat"] = lat_total / N_OPS
+
+    env.run(env.process(workload()))
+    return N_OPS / done["span"] * 1e3, done["mean_lat"]
+
+
+def main() -> None:
+    print(banner(f"WRITE pipelining, {SIZE} B payloads, one QP"))
+    table = Table(["depth", "throughput", "mean latency"])
+    for depth in (1, 2, 4, 8, 16, 32):
+        mops, lat = run_depth(depth)
+        table.add(depth, fmt_mops(mops), fmt_ns(lat))
+    print(table.render())
+    print(
+        "\nLatency rises as WRs queue at the TX engine while throughput"
+        "\nsaturates at the NIC's message/serialization rate — the ceiling"
+        "\nthe closed-loop store benchmarks stay well under."
+    )
+
+
+if __name__ == "__main__":
+    main()

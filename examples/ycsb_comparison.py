@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Head-to-head YCSB comparison of all six systems (a small Figure 9).
+
+Runs the four workload mixes of §5.2 at one value size with 8 closed-
+loop clients, and prints the throughput table plus eFactory's hybrid
+read-path split.
+
+Run:  python examples/ycsb_comparison.py [value_size] [ops_per_client]
+"""
+
+import sys
+
+from repro.analysis.stats import fmt_mops
+from repro.analysis.tables import Table, banner
+from repro.harness.runner import RunSpec, run_experiment
+from repro.stores import STORES
+from repro.workloads.ycsb import WORKLOADS
+
+SYSTEMS = ("efactory", "efactory_nohr", "imm", "saw", "erda", "forca")
+
+
+def main() -> None:
+    value_len = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    ops = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+
+    print(banner(f"YCSB comparison — {value_len} B values, 8 clients"))
+    table = Table(["system"] + list(WORKLOADS))
+    hybrid_split = {}
+    for store in SYSTEMS:
+        row = [STORES[store].label]
+        for wname, factory in WORKLOADS.items():
+            spec = RunSpec(
+                store=store,
+                workload=factory(value_len=value_len, key_count=1024),
+                n_clients=8,
+                ops_per_client=ops,
+                warmup_ops=max(20, ops // 10),
+            )
+            result = run_experiment(spec)
+            row.append(fmt_mops(result.throughput_mops))
+            if store == "efactory" and result.pure_reads:
+                hybrid_split[wname] = (
+                    result.pure_reads,
+                    result.fallback_reads,
+                )
+        table.add(*row)
+    print(table.render())
+
+    print("\neFactory hybrid read split (pure RDMA vs RPC+RDMA fallback):")
+    for wname, (pure, fallback) in hybrid_split.items():
+        total = pure + fallback
+        print(
+            f"  {wname:12s} {pure}/{total} pure "
+            f"({pure / total:.0%}; fallbacks are read-write races)"
+        )
+
+
+if __name__ == "__main__":
+    main()

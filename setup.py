@@ -1,0 +1,7 @@
+"""Setuptools shim — lets `python setup.py develop` work in offline
+environments that lack the `wheel` package (pip's editable route needs
+bdist_wheel). Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a simulation-grounded reproduction of *Fast and Consistent
+Remote Direct Access to Non-volatile Memory* (eFactory, ICPP '21).
+
+Layers, bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (time in ns).
+* :mod:`repro.mem` / :mod:`repro.nvm` — persistent-memory state + timing
+  with crash semantics (volatile vs durable images, natural eviction).
+* :mod:`repro.rdma` — one-/two-sided verb model with in-flight-write
+  tearing, DDIO, NIC/CPU resource contention, and SEND-based RPC.
+* :mod:`repro.crc` — real CRC-32 plus the calibrated time-cost model.
+* :mod:`repro.kv` — object layout, log pools, and both hash indexes.
+* :mod:`repro.core` — eFactory itself; :mod:`repro.baselines` — the
+  comparison systems (CA, RPC, SAW, IMM, Erda, Forca).
+* :mod:`repro.workloads` / :mod:`repro.harness` — YCSB-style workloads,
+  the multi-client experiment runner, and the crash-consistency oracle.
+
+Quick start::
+
+    from repro.sim import Environment
+    from repro.stores import build_store
+
+    env = Environment()
+    setup = build_store("efactory", env, n_clients=1).start()
+    client = setup.client()
+
+    def demo():
+        yield from client.put(b"k", b"hello")
+        value = yield from client.get(b"k", size_hint=5)
+        return value
+
+    print(env.run(env.process(demo())))   # b'hello'
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigError,
+    ConsistencyViolation,
+    CorruptObjectError,
+    KeyNotFoundError,
+    MemoryAccessError,
+    PoolExhaustedError,
+    ProtectionError,
+    QPError,
+    RDMAError,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+    StoreError,
+    WorkloadError,
+)
+from repro.stores import STORES, StoreSetup, StoreSpec, build_store, store_names
+
+__all__ = [
+    "__version__",
+    "ConfigError",
+    "ConsistencyViolation",
+    "CorruptObjectError",
+    "KeyNotFoundError",
+    "MemoryAccessError",
+    "PoolExhaustedError",
+    "ProtectionError",
+    "QPError",
+    "RDMAError",
+    "RecoveryError",
+    "ReproError",
+    "STORES",
+    "SimulationError",
+    "StoreError",
+    "StoreSetup",
+    "StoreSpec",
+    "WorkloadError",
+    "build_store",
+    "store_names",
+]

@@ -1,0 +1,24 @@
+"""Result analysis: statistics helpers and text-table rendering."""
+
+from repro.analysis.histogram import LogHistogram
+from repro.analysis.stats import (
+    ci95,
+    fmt_mops,
+    fmt_ns,
+    geo_mean,
+    improvement,
+    speedup,
+)
+from repro.analysis.tables import Table, banner
+
+__all__ = [
+    "LogHistogram",
+    "Table",
+    "banner",
+    "ci95",
+    "fmt_mops",
+    "fmt_ns",
+    "geo_mean",
+    "improvement",
+    "speedup",
+]

@@ -1,0 +1,70 @@
+"""Small statistics helpers for reporting experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "speedup",
+    "improvement",
+    "geo_mean",
+    "fmt_ns",
+    "fmt_mops",
+    "ci95",
+]
+
+
+def speedup(candidate: float, baseline: float) -> float:
+    """``candidate / baseline`` (1.0 = parity); NaN-safe."""
+    if baseline <= 0 or math.isnan(baseline) or math.isnan(candidate):
+        return float("nan")
+    return candidate / baseline
+
+
+def improvement(candidate: float, baseline: float) -> float:
+    """Relative improvement, the paper's "outperforms by X×" convention:
+    0.42 means 42% better (i.e. candidate = 1.42 × baseline)."""
+    return speedup(candidate, baseline) - 1.0
+
+
+def geo_mean(values: Iterable[float]) -> float:
+    arr = np.asarray([v for v in values if v > 0 and not math.isnan(v)])
+    if arr.size == 0:
+        return float("nan")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def ci95(samples: Sequence[float]) -> tuple[float, float]:
+    """Mean and 95% normal-approximation half-width."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan"), float("nan")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    half = 1.96 * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, half
+
+
+def fmt_ns(ns: float) -> str:
+    """Human latency: ns → µs/ms as appropriate."""
+    if math.isnan(ns):
+        return "n/a"
+    if ns < 1_000:
+        return f"{ns:.0f}ns"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.2f}us"
+    return f"{ns / 1_000_000:.2f}ms"
+
+
+def fmt_mops(mops: float) -> str:
+    if math.isnan(mops):
+        return "n/a"
+    if mops < 0.001:
+        return f"{mops * 1e6:.0f} ops/s"
+    if mops < 1.0:
+        return f"{mops * 1e3:.1f} Kops/s"
+    return f"{mops:.2f} Mops/s"

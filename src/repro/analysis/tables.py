@@ -1,0 +1,57 @@
+"""Plain-text tables matching the paper's figures.
+
+Every benchmark prints its result through :class:`Table` so the output
+reads like the rows/series behind the paper's plots — one line per
+(system, x-value) with the measured metric.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["Table", "banner"]
+
+
+def banner(title: str, width: int = 78) -> str:
+    """A section header line."""
+    pad = max(0, width - len(title) - 4)
+    return f"== {title} {'=' * pad}"
+
+
+class Table:
+    """Aligned fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

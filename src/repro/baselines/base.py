@@ -1,0 +1,563 @@
+"""Shared server/client machinery for every store in the comparison.
+
+The paper implements SAW, IMM, Erda, Forca, and eFactory "on the same
+code base" (§5.3) for an apples-to-apples comparison; this module is
+that code base. It provides:
+
+* :class:`StoreConfig` — capacity, geometry, and the per-scheme cost
+  knobs (what work happens on which CPU, and whether metadata is
+  persisted synchronously);
+* :class:`BaseServer` — node + NVM carve-up (hash table region, one or
+  two log pools), the SEND-based-RPC dispatch loop, the shared
+  *allocation* path of the client-active PUT (§4.3.1 steps 1–4), and
+  session management;
+* :class:`BaseClient` — connection setup (obtaining rkeys and geometry,
+  §4.3), the client half of the client-active PUT, pure-RDMA GET
+  helpers, and the notification mailbox used by log cleaning.
+
+Concrete stores subclass these and register/override handlers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.crc.cost import CrcCostModel
+from repro.crc.crc32 import crc32_fast
+from repro.errors import ConfigError, KeyNotFoundError, StoreError
+from repro.kv.hashtable import (
+    HashTableGeometry,
+    NvmHashTable,
+    Slot,
+    client_lookup_bucket,
+    key_fingerprint,
+)
+from repro.kv.logpool import LogPool
+from repro.kv.objects import (
+    FLAG_DURABLE,
+    FLAG_VALID,
+    HEADER_SIZE,
+    NULL_PTR,
+    OBJECT_HEADER,
+    ObjectImage,
+    build_header,
+    object_size,
+    pack_ptr,
+    parse_object,
+)
+from repro.nvm.device import NVMDevice, NVMTiming
+from repro.rdma.fabric import Fabric, Node
+from repro.rdma.mr import MemoryRegion
+from repro.rdma.qp import Endpoint
+from repro.rdma.rpc import RpcClient, RpcServer, rpc_error
+from repro.rdma.verbs import Message
+from repro.sim.kernel import Environment, Event
+
+__all__ = [
+    "StoreConfig",
+    "ObjectLocation",
+    "ClientSession",
+    "BaseServer",
+    "BaseClient",
+    "PUT_REQUEST_OVERHEAD",
+    "GET_REQUEST_OVERHEAD",
+    "RESPONSE_BYTES",
+]
+
+#: Wire bytes of a PUT allocation request beyond the key itself
+#: (op code, vlen, crc, ids).
+PUT_REQUEST_OVERHEAD = 40
+#: Wire bytes of a GET-by-RPC request beyond the key.
+GET_REQUEST_OVERHEAD = 24
+#: Wire bytes of a small control response (offset + status).
+RESPONSE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Capacity and cost model of a store deployment.
+
+    CPU-cost knobs (ns) name where each scheme spends server cycles;
+    they are shared so that differences between stores come from *which*
+    costs sit on which path, not from tuning each store separately.
+    """
+
+    # capacity / geometry
+    pool_size: int = 32 << 20
+    dual_pools: bool = False
+    table_buckets: int = 8192
+    slots_per_bucket: int = 4
+    probe_limit: int = 4
+    hopscotch_neighborhood: int = 8  # Erda only
+
+    # server resources
+    server_cores: int = 4
+    dispatch_ns: float = 400.0
+    #: Intel DDIO on the server NIC (True = inbound DMA is volatile).
+    ddio: bool = True
+
+    # handler work items
+    alloc_ns: float = 80.0
+    index_ns: float = 60.0
+    header_write_ns: float = 60.0
+    entry_update_ns: float = 20.0
+    meta_indirection_ns: float = 0.0  # Forca's extra metadata layer
+
+    # scheme switches
+    persist_meta: bool = False  # flush header+entry inside the alloc handler
+    crc_on_put: bool = False  # client computes a CRC and ships it
+
+    # eFactory background verification
+    verify_timeout_ns: float = 50_000.0
+    bg_idle_poll_ns: float = 2_000.0
+    bg_retry_delay_ns: float = 3_000.0
+
+    # log cleaning
+    reserve_fraction: float = 0.1
+
+    # cost models
+    crc_cost: CrcCostModel = field(default_factory=CrcCostModel)
+    nvm_timing: NVMTiming = field(default_factory=NVMTiming)
+
+    def __post_init__(self) -> None:
+        if self.pool_size <= 0:
+            raise ConfigError("pool_size must be positive")
+        if self.server_cores < 1:
+            raise ConfigError("server_cores must be >= 1")
+        if not 0.0 <= self.reserve_fraction < 1.0:
+            raise ConfigError("reserve_fraction must be in [0, 1)")
+
+    def with_(self, **kw: Any) -> "StoreConfig":
+        """A copy with fields replaced (convenience for experiments)."""
+        return replace(self, **kw)
+
+    @property
+    def geometry(self) -> HashTableGeometry:
+        return HashTableGeometry(
+            n_buckets=self.table_buckets,
+            slots_per_bucket=self.slots_per_bucket,
+            probe_limit=self.probe_limit,
+        )
+
+
+@dataclass(frozen=True)
+class ObjectLocation:
+    """Where an object lives: pool id, pool-relative offset, total size."""
+
+    pool: int
+    offset: int
+    size: int
+
+    @property
+    def slot(self) -> Slot:
+        return Slot(pool=self.pool, size=self.size, offset=self.offset)
+
+
+@dataclass
+class ClientSession:
+    """What a client learns at connection setup (§4.3): region rkeys,
+    table geometry, and a reply path for server-initiated notifications."""
+
+    session_id: int
+    table_rkey: int
+    pool_rkeys: tuple[int, ...]
+    geometry: HashTableGeometry
+    server_ep: Endpoint  # server-side endpoint toward the client
+
+
+class BaseServer:
+    """Common server core: memory carve-up, RPC loop, allocation path."""
+
+    store_name = "base"
+    #: Whether the alloc handler publishes the hash entry immediately
+    #: (client-active schemes) or defers to durability (IMM/SAW).
+    publish_on_alloc = True
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        config: StoreConfig | None = None,
+        name: str = "server",
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.config = config or StoreConfig()
+        cfg = self.config
+
+        table_bytes = self._table_bytes()
+        n_pools = 2 if cfg.dual_pools else 1
+        device_size = _align(table_bytes, 4096) + n_pools * _align(cfg.pool_size, 4096)
+        self.device = NVMDevice(env, device_size, timing=cfg.nvm_timing, name=f"{name}.nvm")
+        self.node: Node = fabric.create_node(
+            name, device=self.device, cores=cfg.server_cores, ddio=cfg.ddio
+        )
+
+        # -- memory carve-up ------------------------------------------------
+        self.table = self._make_table()
+        self.table_mr: MemoryRegion = self.node.register_memory(
+            0, table_bytes, writable=False, name=f"{name}.table"
+        )
+        self.pools: list[LogPool] = []
+        self.pool_mrs: list[MemoryRegion] = []
+        base = _align(table_bytes, 4096)
+        for pid in range(n_pools):
+            pool = LogPool(
+                self.device,
+                base,
+                cfg.pool_size,
+                pool_id=pid,
+                reserve_fraction=cfg.reserve_fraction,
+            )
+            self.pools.append(pool)
+            self.pool_mrs.append(
+                self.node.register_memory(
+                    base, cfg.pool_size, writable=True, name=f"{name}.pool{pid}"
+                )
+            )
+            base += _align(cfg.pool_size, 4096)
+
+        #: Pool receiving new writes (log cleaning redirects this).
+        self.write_pool_id = 0
+
+        self.rpc = RpcServer(
+            env,
+            self.node,
+            dispatch_ns=cfg.dispatch_ns,
+            concurrent_handlers=cfg.server_cores,
+        )
+        self.sessions: list[ClientSession] = []
+        self._session_ids = iter(range(1, 1 << 30))
+        self._alloc_ids = iter(range(1, 1 << 62))
+        #: Outstanding allocations (IMM/SAW persist-on-completion need them).
+        self.pending_allocs: dict[int, ObjectLocation] = {}
+        self._register_handlers()
+
+    # -- index construction (Erda overrides with hopscotch) ---------------------
+    def _table_bytes(self) -> int:
+        return self.config.geometry.table_bytes
+
+    def _make_table(self) -> Any:
+        return NvmHashTable(self.device, 0, self.config.geometry)
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        self.rpc.start()
+
+    def stop(self) -> None:
+        self.rpc.stop()
+
+    def connect_client(self, client_node: Node) -> tuple[Endpoint, ClientSession]:
+        """Connection setup: returns the client-side endpoint and the
+        session metadata (rkeys, geometry) the server hands over."""
+        ep = self.fabric.connect(client_node, self.node)
+        assert ep.peer is not None
+        session = ClientSession(
+            session_id=next(self._session_ids),
+            table_rkey=self.table_mr.rkey,
+            pool_rkeys=tuple(mr.rkey for mr in self.pool_mrs),
+            geometry=self.config.geometry,
+            server_ep=ep.peer,
+        )
+        self.sessions.append(session)
+        return ep, session
+
+    # -- handler registry --------------------------------------------------------
+    def _register_handlers(self) -> None:
+        """Subclasses register their RPC handlers here."""
+        self.rpc.register("alloc", self._handle_alloc)
+
+    # -- the shared allocation path (client-active PUT, steps 2-4) ---------------
+    def _handle_alloc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
+        p = msg.payload
+        try:
+            loc, entry_off = yield from self.alloc_object(
+                p["key"], p["vlen"], p.get("crc", 0), publish=self.publish_on_alloc
+            )
+        except StoreError as exc:
+            return rpc_error(str(exc)), RESPONSE_BYTES
+        self.pending_allocs[p["alloc_id"]] = (loc, entry_off, len(p["key"]))
+        return (
+            {
+                "pool": loc.pool,
+                "value_off": loc.offset + HEADER_SIZE + len(p["key"]),
+                "obj_off": loc.offset,
+                "size": loc.size,
+            },
+            RESPONSE_BYTES,
+        )
+
+    def alloc_object(
+        self,
+        key: bytes,
+        vlen: int,
+        crc: int,
+        *,
+        publish: bool = True,
+        flags: int = FLAG_VALID,
+    ) -> Generator[Event, Any, tuple[ObjectLocation, int]]:
+        """Allocate + write header/key (+ index update when ``publish``).
+
+        Runs inside a request handler (CPU already held). Returns the
+        location and the hash-entry offset. ``publish=False`` defers the
+        index update (IMM/SAW publish only after the data is durable).
+        """
+        cfg = self.config
+        env = self.env
+        pool = self.pools[self.write_pool_id]
+        size = object_size(len(key), vlen)
+        yield env.timeout(cfg.alloc_ns)
+        offset = pool.allocate(size)
+        loc = ObjectLocation(pool=pool.pool_id, offset=offset, size=size)
+
+        # previous-version link (the version list, §4.2.2)
+        fp = key_fingerprint(key)
+        yield env.timeout(cfg.index_ns)
+        entry_off = self.table.find_or_create(fp)
+        prev = self.table.read_cur(entry_off)
+        pre_ptr = pack_ptr(prev.pool, prev.offset) if prev is not None else NULL_PTR
+
+        header = build_header(
+            flags=flags,
+            klen=len(key),
+            vlen=vlen,
+            crc=crc,
+            pre_ptr=pre_ptr,
+            ts=int(env.now),
+        )
+        yield env.timeout(cfg.header_write_ns + cfg.meta_indirection_ns)
+        pool.write(offset, header + key)
+
+        # Forward link (§4.2.2 NextPTR): lets the log cleaner find "the
+        # next version of the migrated current version". One atomic
+        # 8-byte store into the previous version's header.
+        if prev is not None:
+            nxt_field = OBJECT_HEADER.offset_of("nxt_ptr")
+            self.device.write_atomic64(
+                self.pools[prev.pool].abs_addr(prev.offset) + nxt_field,
+                OBJECT_HEADER.pack_field(
+                    "nxt_ptr", pack_ptr(pool.pool_id, offset)
+                ),
+            )
+
+        # Ordering matters for recoverability (§4.3.1: "after all the
+        # metadata has been updated and persisted"): the header must be
+        # durable *before* the hash entry can point at it — otherwise a
+        # crash could naturally evict the entry update while losing the
+        # header, severing the version list below an intact version.
+        if cfg.persist_meta:
+            yield from self.persist_header(loc, len(key))
+        if publish:
+            yield from self.publish_object(entry_off, loc)
+        if cfg.persist_meta:
+            yield from self.persist_entry_timed(entry_off)
+        self.on_allocated(loc, entry_off)
+        return loc, entry_off
+
+    def publish_object(
+        self, entry_off: int, loc: ObjectLocation
+    ) -> Generator[Event, Any, None]:
+        """Make the hash entry point at the object (one atomic store)."""
+        yield self.env.timeout(self.config.entry_update_ns)
+        self.table.set_cur(entry_off, loc.slot)
+
+    def persist_header(
+        self, loc: ObjectLocation, klen: int
+    ) -> Generator[Event, Any, None]:
+        """Flush the object header + key (before any entry exposes it)."""
+        t = self.config.nvm_timing
+        meta_len = HEADER_SIZE + klen
+        yield self.env.timeout(t.flush_cost(meta_len))
+        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), meta_len)
+
+    def persist_entry_timed(self, entry_off: int) -> Generator[Event, Any, None]:
+        """Flush the hash entry's line (one CLWB + fence)."""
+        t = self.config.nvm_timing
+        yield self.env.timeout(t.flush_line_ns + t.fence_ns)
+        self.table.persist_entry(entry_off)
+
+    def on_allocated(self, loc: ObjectLocation, entry_off: int) -> None:
+        """Subclass hook (eFactory feeds its background verifier)."""
+
+    # -- shared object helpers -----------------------------------------------------
+    def read_object(self, loc: ObjectLocation) -> ObjectImage:
+        """Instant state read of an object (timing charged by caller)."""
+        return parse_object(self.pools[loc.pool].read(loc.offset, loc.size))
+
+    def object_value_ok(self, img: ObjectImage) -> bool:
+        """Functional CRC verification (the *time* is charged by caller
+        via ``config.crc_cost``)."""
+        return (
+            img.well_formed
+            and img.vlen == len(img.value)
+            and crc32_fast(img.value) == img.crc
+        )
+
+    def persist_object(self, loc: ObjectLocation) -> Generator[Event, Any, None]:
+        """Timed flush of a whole object."""
+        pool = self.pools[loc.pool]
+        yield from self.device.persist(pool.abs_addr(loc.offset), loc.size)
+
+    def set_object_flags(self, loc: ObjectLocation, flags: int) -> None:
+        """Instant single-byte flag store (offset 2 in the header)."""
+        pool = self.pools[loc.pool]
+        pool.write(loc.offset + 2, bytes([flags]))
+
+    def mark_durable(self, loc: ObjectLocation, img: ObjectImage) -> None:
+        self.set_object_flags(loc, img.flags | FLAG_DURABLE)
+        # the flag itself must be durable before pure-RDMA readers trust it
+        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), 8)
+
+    def lookup_slot(self, key: bytes) -> Optional[tuple[int, Optional[Slot], Optional[Slot]]]:
+        """(entry_off, cur, alt) for ``key`` or None (state only)."""
+        fp = key_fingerprint(key)
+        entry_off = self.table.find(fp)
+        if entry_off is None:
+            return None
+        return entry_off, self.table.read_cur(entry_off), self.table.read_alt(entry_off)
+
+
+class BaseClient:
+    """Common client core: session setup, client-active PUT, GET helpers."""
+
+    def __init__(self, env: Environment, server: BaseServer, name: str) -> None:
+        self.env = env
+        self.server = server
+        self.name = name
+        self.node: Node = server.fabric.create_node(name)
+        self.ep, self.session = server.connect_client(self.node)
+        self.rpc = RpcClient(self.ep)
+        self.config = server.config
+        self._alloc_counter = 0
+        #: Set while the server performs log cleaning (notifications).
+        self.cleaning_mode = False
+        #: Dedicated notification listener — the client library "thread"
+        #: that reacts to log-cleaning notices even while the app is
+        #: idle, and acks promptly so the cleaner is never stalled.
+        self._listener = self.env.process(
+            self._notification_loop(), name=f"{name}-notify"
+        )
+
+    def _next_alloc_id(self) -> int:
+        """Globally unique allocation id that still fits IMM's 32-bit
+        immediate field: session id (8 bits) + per-client counter."""
+        self._alloc_counter += 1
+        return ((self.session.session_id & 0xFF) << 24) | (
+            self._alloc_counter & 0xFFFFFF
+        )
+
+    # -- notifications (log cleaning, §4.4) -------------------------------------
+    @staticmethod
+    def _is_cleaning_notice(msg: Message) -> bool:
+        return (
+            isinstance(msg.payload, dict)
+            and msg.payload.get("op") == "cleaning"
+        )
+
+    def _notification_loop(self) -> Generator[Event, Any, None]:
+        while True:
+            msg = yield self.node.srq.get(self._is_cleaning_notice)
+            yield from self._handle_cleaning_notice(msg)
+
+    def poll_notifications(self) -> Generator[Event, Any, None]:
+        """Drain pending server notifications.
+
+        Kept for call-site symmetry (the listener process normally
+        handles notices the moment they arrive); a direct call still
+        works when the listener is somehow behind.
+        """
+        while True:
+            ok, msg = self.node.srq.try_get(self._is_cleaning_notice)
+            if not ok:
+                return
+            yield from self._handle_cleaning_notice(msg)
+
+    def _handle_cleaning_notice(self, msg: Message) -> Generator[Event, Any, None]:
+        state = msg.payload["state"]
+        if state == "start":
+            self.cleaning_mode = True
+            yield from self.ep.send({"op": "cleaning_ack"}, 24, in_reply_to=msg.req_id)
+        elif state == "finish":
+            self.cleaning_mode = False
+
+    # -- client-active PUT (§4.3.1) ----------------------------------------------
+    def put_client_active(
+        self, key: bytes, value: bytes, *, with_crc: bool
+    ) -> Generator[Event, Any, None]:
+        """Steps 1–5 of Figure 5: alloc RPC, then one-sided WRITE of the
+        value. Returns when the WRITE acks (durability NOT implied).
+
+        The client overlaps its CRC computation with the allocation
+        round trip (the CPU is otherwise idle waiting for the response),
+        so only the CRC time exceeding the RTT lands on the critical
+        path — without this, large-value PUTs would pay the full CRC
+        serially, which no competent implementation does.
+        """
+        crc = crc32_fast(value) if with_crc else 0
+        t0 = self.env.now
+        resp = yield from self.alloc_rpc(key, len(value), crc)
+        if with_crc:
+            crc_ns = self.config.crc_cost.cost_ns(len(value))
+            overlap = self.env.now - t0
+            if crc_ns > overlap:
+                yield self.env.timeout(crc_ns - overlap)
+        yield from self.write_value(resp, value)
+
+    def alloc_rpc(
+        self, key: bytes, vlen: int, crc: int
+    ) -> Generator[Event, Any, dict]:
+        alloc_id = self._next_alloc_id()
+        resp = yield from self.rpc.call(
+            {"op": "alloc", "key": key, "vlen": vlen, "crc": crc, "alloc_id": alloc_id},
+            PUT_REQUEST_OVERHEAD + len(key),
+        )
+        resp["alloc_id"] = alloc_id
+        return resp
+
+    def write_value(self, alloc_resp: dict, value: bytes) -> Generator[Event, Any, None]:
+        rkey = self.session.pool_rkeys[alloc_resp["pool"]]
+        yield from self.ep.write(rkey, alloc_resp["value_off"], value)
+
+    # -- pure-RDMA GET helpers (steps 1-4 of Figure 6) ---------------------------
+    def read_bucket(self, key: bytes) -> Generator[Event, Any, tuple[int, Optional[tuple]]]:
+        """READ the home bucket; returns (fp, (cur, alt) or None)."""
+        fp = key_fingerprint(key)
+        geom = self.session.geometry
+        raw = yield from self.ep.read(
+            self.session.table_rkey,
+            geom.bucket_offset(geom.bucket_of(fp)),
+            geom.bucket_bytes,
+        )
+        return fp, client_lookup_bucket(raw, fp, geom)
+
+    def read_object_at(self, slot: Slot) -> Generator[Event, Any, ObjectImage]:
+        raw = yield from self.ep.read(
+            self.session.pool_rkeys[slot.pool], slot.offset, slot.size
+        )
+        return parse_object(raw)
+
+    def read_object_loc(
+        self, pool: int, offset: int, size: int
+    ) -> Generator[Event, Any, ObjectImage]:
+        raw = yield from self.ep.read(self.session.pool_rkeys[pool], offset, size)
+        return parse_object(raw)
+
+    # -- interface -------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
+        raise NotImplementedError
+
+    def get(
+        self, key: bytes, size_hint: Optional[int] = None
+    ) -> Generator[Event, Any, bytes]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_found(img: ObjectImage, key: bytes) -> None:
+        if not img.well_formed or img.key != key:
+            raise KeyNotFoundError(f"key {key!r} not found at indexed location")
+
+
+def _align(n: int, a: int) -> int:
+    return (n + a - 1) & ~(a - 1)

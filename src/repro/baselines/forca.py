@@ -1,0 +1,112 @@
+"""Forca — server-side verification and persisting on the read path
+(§5.3.4, after Huang et al. [ICCD'18]).
+
+PUT: exactly Erda's write path (client-active, CRC shipped in the
+request, nothing flushed) over the bucketized index, plus the extra
+object-metadata indirection the paper calls out in §6.1 ("Forca has an
+extra intermediate layer of object metadata") — modelled as added
+handler CPU per operation.
+
+GET: always an RPC. The server looks up the object, CRC-verifies it,
+*persists it*, and returns its location; the client then fetches it with
+a one-sided READ. Verification failure walks to the previous version.
+Server CPU + CRC on every read is why Forca trails in Figs 2/9/10.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional
+
+from repro.baselines.base import (
+    BaseClient,
+    BaseServer,
+    GET_REQUEST_OVERHEAD,
+    ObjectLocation,
+    RESPONSE_BYTES,
+    StoreConfig,
+)
+from repro.kv.objects import HEADER_SIZE, object_size, parse_header, unpack_ptr
+from repro.rdma.rpc import rpc_error
+from repro.rdma.verbs import Message
+from repro.sim.kernel import Event
+
+__all__ = ["ForcaServer", "ForcaClient", "forca_config"]
+
+
+def forca_config(**overrides: Any) -> StoreConfig:
+    cfg = StoreConfig(
+        persist_meta=False,
+        crc_on_put=True,
+        meta_indirection_ns=120.0,
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+class ForcaServer(BaseServer):
+    store_name = "forca"
+
+    def _register_handlers(self) -> None:
+        super()._register_handlers()
+        self.rpc.register("get_loc", self._handle_get_loc)
+
+    def _handle_get_loc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
+        cfg = self.config
+        key: bytes = msg.payload["key"]
+        yield self.env.timeout(cfg.index_ns + cfg.meta_indirection_ns)
+        found = self.lookup_slot(key)
+        if found is None:
+            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+        _entry_off, cur, _alt = found
+        if cur is None:
+            return rpc_error(f"key {key!r} has no version"), RESPONSE_BYTES
+
+        loc: Optional[ObjectLocation] = ObjectLocation(
+            pool=cur.pool, offset=cur.offset, size=cur.size
+        )
+        while loc is not None:
+            img = self.read_object(loc)
+            # Forca verifies by CRC on *every* read (no durability flag).
+            yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+            if img.well_formed and img.key == key and self.object_value_ok(img):
+                # ... and persists on the read path before returning.
+                # (No durability flag — Forca re-verifies every read;
+                # that absence is the design gap eFactory closes.)
+                yield from self.persist_object(loc)
+                return (
+                    {"pool": loc.pool, "offset": loc.offset, "size": loc.size},
+                    RESPONSE_BYTES,
+                )
+            loc = self._previous_location(img)
+        return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+
+    def _previous_location(self, img) -> Optional[ObjectLocation]:
+        prev = unpack_ptr(img.pre_ptr) if img.well_formed else None
+        if prev is None:
+            return None
+        pool_id, offset = prev
+        # Size the previous version from its own header (state read; the
+        # walk's timing is dominated by the CRC charges above).
+        hdr = parse_header(self.pools[pool_id].read(offset, HEADER_SIZE))
+        if hdr is None:
+            return None  # header itself torn: cannot even size the object
+        return ObjectLocation(
+            pool=pool_id, offset=offset, size=object_size(hdr.klen, hdr.vlen)
+        )
+
+
+class ForcaClient(BaseClient):
+    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
+        yield from self.put_client_active(key, value, with_crc=True)
+
+    def get(
+        self, key: bytes, size_hint: Optional[int] = None
+    ) -> Generator[Event, Any, bytes]:
+        resp = yield from self.rpc.call(
+            {"op": "get_loc", "key": key}, GET_REQUEST_OVERHEAD + len(key)
+        )
+        img = yield from self.read_object_loc(
+            resp["pool"], resp["offset"], resp["size"]
+        )
+        self._check_found(img, key)
+        return img.value

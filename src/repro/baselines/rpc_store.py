@@ -1,0 +1,106 @@
+"""Pure RPC store: the server's CPU does everything (§2.2, Fig 1).
+
+PUT: the value travels inside the SEND; the server copies it from the
+staging buffer into NVM (an extra pass over the data the client-active
+schemes avoid), flushes it, *then* publishes the hash entry — so
+metadata never exposes incomplete data and no CRC is ever needed.
+
+GET: request/response RPC with the value inline.
+
+This is the paper's durable baseline: simple, always consistent, and
+CPU-bound — the scheme the client-active designs are measured against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional
+
+from repro.baselines.base import (
+    BaseClient,
+    BaseServer,
+    GET_REQUEST_OVERHEAD,
+    PUT_REQUEST_OVERHEAD,
+    RESPONSE_BYTES,
+    StoreConfig,
+)
+from repro.kv.objects import FLAG_DURABLE, FLAG_VALID, HEADER_SIZE
+from repro.rdma.rpc import rpc_error
+from repro.rdma.verbs import Message
+from repro.sim.kernel import Event
+
+__all__ = ["RpcStoreServer", "RpcStoreClient", "rpc_store_config"]
+
+
+def rpc_store_config(**overrides: Any) -> StoreConfig:
+    cfg = StoreConfig(persist_meta=False, crc_on_put=False)
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+class RpcStoreServer(BaseServer):
+    store_name = "rpc"
+
+    def _register_handlers(self) -> None:
+        self.rpc.register("put", self._handle_put)
+        self.rpc.register("get", self._handle_get)
+
+    def _handle_put(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
+        p = msg.payload
+        key: bytes = p["key"]
+        value: bytes = p["value"]
+        # Allocate + write metadata, but publish only after durability.
+        loc, entry_off = yield from self.alloc_object(
+            key, len(value), 0, publish=False, flags=FLAG_VALID | FLAG_DURABLE
+        )
+        # Staging-buffer -> NVM copy (the extra data pass RPC pays).
+        value_addr = self.pools[loc.pool].abs_addr(loc.offset) + HEADER_SIZE + len(key)
+        yield from self.device.copy_in(value_addr, value)
+        yield from self.persist_object(loc)
+        yield from self.publish_object(entry_off, loc)
+        yield from self._persist_entry_timed(entry_off)
+        return {"ok": True}, RESPONSE_BYTES
+
+    def _handle_get(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
+        key: bytes = msg.payload["key"]
+        yield self.env.timeout(self.config.index_ns)
+        found = self.lookup_slot(key)
+        if found is None or found[1] is None:
+            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+        _entry_off, cur, _alt = found
+        loc_img = self.read_object(
+            # metadata published only after durability => object intact
+            _loc_from_slot(cur)
+        )
+        # server-side read of the value before shipping it back
+        yield self.env.timeout(self.config.nvm_timing.read_cost(loc_img.vlen))
+        return (
+            {"value": loc_img.value},
+            RESPONSE_BYTES + loc_img.vlen,
+        )
+
+    def _persist_entry_timed(self, entry_off: int) -> Generator[Event, Any, None]:
+        t = self.config.nvm_timing
+        yield self.env.timeout(t.flush_cost(32))
+        self.table.persist_entry(entry_off)
+
+
+def _loc_from_slot(slot):
+    from repro.baselines.base import ObjectLocation
+
+    return ObjectLocation(pool=slot.pool, offset=slot.offset, size=slot.size)
+
+
+class RpcStoreClient(BaseClient):
+    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
+        yield from self.rpc.call(
+            {"op": "put", "key": key, "value": value},
+            PUT_REQUEST_OVERHEAD + len(key) + len(value),
+        )
+
+    def get(
+        self, key: bytes, size_hint: Optional[int] = None
+    ) -> Generator[Event, Any, bytes]:
+        resp = yield from self.rpc.call(
+            {"op": "get", "key": key}, GET_REQUEST_OVERHEAD + len(key)
+        )
+        return resp["value"]

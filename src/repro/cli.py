@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Lets a downstream user drive the reproduction without writing code::
+
+    python -m repro list
+    python -m repro run --store efactory --workload YCSB-B \\
+        --value-size 1024 --clients 8 --ops 400 --seeds 42 43 44
+    python -m repro fig 9 --workload update-only --sizes 64 1024 4096
+    python -m repro crash --store erda --seeds 7 11 13
+    python -m repro fig 1 --json out.json
+
+Every command prints the same text tables the benchmarks do; ``--json``
+additionally writes machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from repro._version import __version__
+from repro.analysis.stats import fmt_mops, fmt_ns
+from repro.analysis.tables import Table, banner
+from repro.harness import experiments as exp
+from repro.harness.crash import CrashSpec, run_crash_experiment
+from repro.harness.repeat import run_replicated
+from repro.harness.runner import RunSpec
+from repro.stores import STORES, store_names
+from repro.workloads.ycsb import WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="eFactory (ICPP '21) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available store flavours")
+
+    run_p = sub.add_parser("run", help="run one workload on one store")
+    run_p.add_argument("--store", required=True, choices=store_names())
+    run_p.add_argument("--workload", default="YCSB-B", choices=list(WORKLOADS))
+    run_p.add_argument("--value-size", type=int, default=1024)
+    run_p.add_argument("--key-count", type=int, default=1024)
+    run_p.add_argument("--clients", type=int, default=8)
+    run_p.add_argument("--ops", type=int, default=400)
+    run_p.add_argument("--seeds", type=int, nargs="+", default=[42])
+    run_p.add_argument(
+        "--histogram",
+        action="store_true",
+        help="print the pooled latency distribution",
+    )
+    run_p.add_argument("--json", metavar="PATH", default=None)
+
+    fig_p = sub.add_parser("fig", help="regenerate a paper figure")
+    fig_p.add_argument("figure", choices=["1", "2", "9", "10", "11"])
+    fig_p.add_argument("--workload", default=None, choices=list(WORKLOADS))
+    fig_p.add_argument("--sizes", type=int, nargs="+", default=None)
+    fig_p.add_argument("--clients", type=int, nargs="+", default=None)
+    fig_p.add_argument("--ops", type=int, default=300)
+    fig_p.add_argument("--json", metavar="PATH", default=None)
+
+    crash_p = sub.add_parser("crash", help="crash-consistency audit")
+    crash_p.add_argument("--store", required=True, choices=store_names())
+    crash_p.add_argument("--seeds", type=int, nargs="+", default=[7, 11, 13])
+    crash_p.add_argument("--evict", type=float, default=0.35)
+    crash_p.add_argument("--json", metavar="PATH", default=None)
+
+    return parser
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def _cmd_list() -> tuple[str, Any]:
+    table = Table(["name", "label", "durable PUT", "consistent GET"])
+    for name in store_names():
+        spec = STORES[name]
+        table.add(
+            name,
+            spec.label,
+            "yes" if spec.durable_put else "no",
+            "yes" if spec.consistent_get else "no",
+        )
+    return (
+        banner("available stores") + "\n" + table.render(),
+        {name: STORES[name].label for name in store_names()},
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> tuple[str, Any]:
+    spec = RunSpec(
+        store=args.store,
+        workload=WORKLOADS[args.workload](
+            value_len=args.value_size, key_count=args.key_count
+        ),
+        n_clients=args.clients,
+        ops_per_client=args.ops,
+        warmup_ops=max(20, args.ops // 10),
+    )
+    rep = run_replicated(spec, seeds=args.seeds)
+    table = Table(["metric", "value"])
+    table.add("store", STORES[args.store].label)
+    table.add("workload", f"{args.workload}, {args.value_size}B values")
+    table.add("clients x ops", f"{args.clients} x {args.ops}")
+    table.add("throughput", f"{rep.throughput_mops} Mops/s")
+    table.add("GET p50", f"{rep.get_p50_ns} ns")
+    table.add("PUT p50", f"{rep.put_p50_ns} ns")
+    table.add("errors", rep.total_errors)
+    extra = ""
+    if args.histogram:
+        from repro.analysis.histogram import LogHistogram
+
+        hist = LogHistogram()
+        for result in rep.results:
+            hist.record_many(result.latency.array())
+        extra = (
+            "\n" + banner("latency distribution (all ops, all seeds)")
+            + "\n" + hist.render()
+        )
+    payload = {
+        "store": args.store,
+        "workload": args.workload,
+        "value_size": args.value_size,
+        "seeds": list(rep.seeds),
+        "throughput_mops": rep.throughput_mops.mean,
+        "throughput_ci95": rep.throughput_mops.half_width,
+        "get_p50_ns": rep.get_p50_ns.mean,
+        "put_p50_ns": rep.put_p50_ns.mean,
+        "errors": rep.total_errors,
+    }
+    return banner("run") + "\n" + table.render() + extra, payload
+
+
+def _cmd_fig(args: argparse.Namespace) -> tuple[str, Any]:
+    sizes = tuple(args.sizes) if args.sizes else (64, 1024, 4096)
+    if args.figure == "1":
+        data = exp.fig1_write_latency(sizes=sizes, ops=args.ops)
+        return exp.render_fig1(data), _jsonable(data)
+    if args.figure == "2":
+        data = exp.fig2_get_breakdown(sizes=sizes, ops=args.ops)
+        return exp.render_fig2(data), _jsonable(data)
+    if args.figure == "9":
+        workload = args.workload or "YCSB-C"
+        data = exp.fig9_throughput(workload, sizes=sizes, ops=args.ops)
+        return exp.render_fig9(workload, data), _jsonable(data)
+    if args.figure == "10":
+        workload = args.workload or "update-only"
+        counts = tuple(args.clients) if args.clients else (1, 4, 8, 16)
+        data = exp.fig10_scalability(
+            workload, client_counts=counts, ops=args.ops
+        )
+        return exp.render_fig10(workload, data), _jsonable(data)
+    # figure 11
+    workloads = (args.workload,) if args.workload else tuple(WORKLOADS)
+    data = exp.fig11_log_cleaning(workload_names=workloads, ops=args.ops)
+    return exp.render_fig11(data), _jsonable(data)
+
+
+def _cmd_crash(args: argparse.Namespace) -> tuple[str, Any]:
+    reports = [
+        run_crash_experiment(
+            CrashSpec(store=args.store, seed=s, evict_probability=args.evict)
+        )
+        for s in args.seeds
+    ]
+    table = Table(
+        ["seed", "ops", "torn", "acked lost", "non-monotonic", "ok"]
+    )
+    for seed, r in zip(args.seeds, reports):
+        table.add(
+            seed,
+            r.completed_ops,
+            r.torn_exposed,
+            r.durability_losses,
+            r.monotonicity_losses,
+            "yes" if r.ok else "; ".join(r.violations),
+        )
+    payload = [
+        {
+            "seed": seed,
+            "torn_exposed": r.torn_exposed,
+            "durability_losses": r.durability_losses,
+            "monotonicity_losses": r.monotonicity_losses,
+            "violations": r.violations,
+            "recovery": r.recovery.as_dict() if r.recovery else None,
+        }
+        for seed, r in zip(args.seeds, reports)
+    ]
+    title = f"crash audit: {STORES[args.store].label}"
+    return banner(title) + "\n" + table.render(), payload
+
+
+def _jsonable(obj: Any) -> Any:
+    """Coerce experiment dicts (int keys, tuples) into JSON-safe data."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        text, payload = _cmd_list()
+    elif args.command == "run":
+        text, payload = _cmd_run(args)
+    elif args.command == "fig":
+        text, payload = _cmd_fig(args)
+    elif args.command == "crash":
+        text, payload = _cmd_crash(args)
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    print(text)
+    json_path = getattr(args, "json", None)
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"(json written to {json_path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

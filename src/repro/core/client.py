@@ -1,0 +1,105 @@
+"""The eFactory client: client-active PUT + hybrid read GET (§4.3).
+
+GET (Figure 6): hash the key locally (step 1), READ the hash bucket
+(step 2), READ the object (step 3), check the embedded durability flag
+(step 4). If the object is durable, done — two one-sided READs, zero
+CRC, zero server CPU. Otherwise fall back to the RPC+RDMA read: GET
+request by SEND (step 5), server resolves a durable location (steps
+6–8), client READs it (step 9).
+
+During log cleaning the client obeys the server's notification and uses
+only the RPC+RDMA path (§4.4); with ``hybrid_read=False`` it always does
+(the "eFactory w/o hr" ablation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional
+
+from repro.baselines.base import BaseClient, GET_REQUEST_OVERHEAD
+from repro.core.config import EFactoryConfig
+from repro.sim.kernel import Event
+
+__all__ = ["EFactoryClient"]
+
+
+class EFactoryClient(BaseClient):
+    def __init__(self, env, server, name: str) -> None:
+        super().__init__(env, server, name)
+        #: Counters for the factor analysis (§6.1): how often the pure
+        #: RDMA path sufficed vs fell back to RPC+RDMA.
+        self.pure_reads = 0
+        self.fallback_reads = 0
+        #: adaptive-read extension: key -> time until which the pure
+        #: attempt is skipped (set after a fallback on that key).
+        self._skip_until: dict[bytes, float] = {}
+
+    # -- PUT (Figure 5) ------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
+        yield from self.put_client_active(key, value, with_crc=True)
+
+    # -- GET (Figure 6) ---------------------------------------------------------
+    def get(
+        self, key: bytes, size_hint: Optional[int] = None
+    ) -> Generator[Event, Any, bytes]:
+        cfg: EFactoryConfig = self.config  # type: ignore[assignment]
+        if cfg.hybrid_read and not self.cleaning_mode and not self._skip(key, cfg):
+            value = yield from self._try_pure_read(key)
+            if value is not None:
+                self.pure_reads += 1
+                self._skip_until.pop(key, None)
+                return value
+            if cfg.adaptive_read:
+                self._skip_until[key] = self.env.now + cfg.adaptive_ttl_ns
+        self.fallback_reads += 1
+        return (yield from self._rpc_read(key))
+
+    def _skip(self, key: bytes, cfg: EFactoryConfig) -> bool:
+        if not cfg.adaptive_read:
+            return False
+        until = self._skip_until.get(key)
+        if until is None:
+            return False
+        if self.env.now >= until:
+            del self._skip_until[key]
+            return False
+        return True
+
+    def _try_pure_read(
+        self, key: bytes
+    ) -> Generator[Event, Any, Optional[bytes]]:
+        """Steps 1-4: two one-sided READs + durability-flag check."""
+        _fp, slots = yield from self.read_bucket(key)
+        if slots is None:
+            return None  # not in home bucket: let the server probe
+        cur, alt = slots
+        # Prefer the working-pool slot; during a cleaning race both may
+        # be valid and either copy is consistent, but `cur` is current.
+        slot = cur or alt
+        if slot is None:
+            return None
+        img = yield from self.read_object_at(slot)
+        if img.well_formed and img.key == key and img.valid and img.durable:
+            return img.value
+        return None  # incomplete / not yet durable: re-read via RPC
+
+    def _rpc_read(self, key: bytes) -> Generator[Event, Any, bytes]:
+        """Steps 5-9: RPC resolves a durable location, then one READ."""
+        resp = yield from self.rpc.call(
+            {"op": "get_loc", "key": key}, GET_REQUEST_OVERHEAD + len(key)
+        )
+        img = yield from self.read_object_loc(
+            resp["pool"], resp["offset"], resp["size"]
+        )
+        self._check_found(img, key)
+        return img.value
+
+    # -- extensions -----------------------------------------------------------------
+    def delete(self, key: bytes) -> Generator[Event, Any, None]:
+        yield from self.rpc.call(
+            {"op": "delete", "key": key}, GET_REQUEST_OVERHEAD + len(key)
+        )
+
+    def read_stats(self) -> dict[str, int]:
+        return {"pure": self.pure_reads, "fallback": self.fallback_reads}

@@ -1,0 +1,363 @@
+"""Two-stage log cleaning (paper §4.4, Figure 7).
+
+**Stage 1 — log compressing.** The server notifies every client (they
+switch to RPC+RDMA reads and ACK), then reverse-scans the old pool: the
+first version seen of each key is its latest-at-snapshot; it is
+verified (made durable if needed), copied to the new pool, and the hash
+entry's second slot (``alt``) records the new location. Older versions
+are skipped. New writes keep landing in the *old* pool and update the
+entry's working slot as usual.
+
+**Stage 2 — log merging.** New writes are redirected to the new pool,
+and the objects written to the old pool during stage 1 are merged: a
+key already superseded by a durable new-pool write is skipped (the
+paper's D1/D2 case); otherwise its latest intact version is copied over.
+
+**Finish.** For every key that had state in the old pool: promote the
+new-pool copy into the working slot (the paper flips the mark bit and
+clears the old offset; our ``promote_alt`` is the same two ordered
+atomic stores), or — if a racing write already made the working slot
+point into the new pool — splice that object's version chain onto the
+moved copy (the paper's PrePTR fix-up + transfer flag). Clients are
+notified, the old pool is recycled.
+
+Simplification vs the paper (documented in DESIGN.md): cleaning
+truncates each key's history to its latest intact version, rather than
+migrating whole version lists. Old versions only exist to recover from
+torn latest versions; a version that has been verified, persisted and
+promoted can never need rollback, so truncation preserves every
+consistency guarantee while keeping the merge tractable.
+
+While cleaning runs, request dispatch is charged a small interference
+factor — the paper attributes its 1–5% PUT slowdown during cleaning to
+the cleaner thrashing cache locality (§6.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.baselines.base import ObjectLocation
+from repro.errors import StoreError
+from repro.kv.hashtable import key_fingerprint
+from repro.kv.objects import (
+    FLAG_DURABLE,
+    FLAG_TRANS,
+    FLAG_VALID,
+    HEADER_SIZE,
+    NULL_PTR,
+    OBJECT_HEADER,
+    build_header,
+    pack_ptr,
+    parse_header,
+    unpack_ptr,
+)
+from repro.sim.kernel import Event, Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server import EFactoryServer
+
+__all__ = ["LogCleaner", "CleaningStats"]
+
+#: Cleaner-core cost of scanning one object header during the sweep.
+_SCAN_NS = 120.0
+#: Multiplier on request dispatch cost while cleaning runs (cache
+#: locality interference, §6.3).
+_INTERFERENCE = 1.12
+#: Poll interval while waiting for an in-flight write to land.
+_WAIT_NS = 2_000.0
+
+
+class CleaningStats:
+    """Counters for one or more cleaning cycles."""
+
+    __slots__ = ("cycles", "moved", "skipped_stale", "skipped_superseded",
+                 "invalidated", "bytes_copied", "entries_fixed")
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.moved = 0
+        self.skipped_stale = 0
+        self.skipped_superseded = 0
+        self.invalidated = 0
+        self.bytes_copied = 0
+        self.entries_fixed = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class LogCleaner:
+    """Runs cleaning cycles on the eFactory server's dedicated core."""
+
+    def __init__(self, server: "EFactoryServer") -> None:
+        self.server = server
+        self.env = server.env
+        self.stats = CleaningStats()
+        self._proc: Optional[Process] = None
+        self._acks_pending = 0
+
+    # -- control ------------------------------------------------------------
+    def trigger(self) -> Optional[Process]:
+        """Start one cleaning cycle; no-op if one is already running."""
+        if self.server.cleaning_active:
+            return None
+        if len(self.server.pools) < 2:
+            raise StoreError("log cleaning requires dual pools")
+        self.server.cleaning_active = True
+        self._proc = self.env.process(self._run(), name="log-cleaner")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self.server.cleaning_active = False
+
+    def note_ack(self) -> None:
+        self._acks_pending = max(0, self._acks_pending - 1)
+
+    # -- the cycle ------------------------------------------------------------
+    def _run(self) -> Generator[Event, Any, None]:
+        server = self.server
+        try:
+            old = server.pools[server.write_pool_id]
+            new = server.pools[1 - server.write_pool_id]
+            new.reset()
+            base_dispatch = server.rpc.dispatch_ns
+            server.rpc.dispatch_ns = base_dispatch * _INTERFERENCE
+            try:
+                yield from self._notify("start", await_acks=True)
+                stage1_mark = len(old.allocations)
+                snapshot_boundary = old.head  # offsets below are snapshot
+                touched = yield from self._compress(
+                    old, new, stage1_mark, snapshot_boundary
+                )
+                server.write_pool_id = new.pool_id
+                touched |= yield from self._merge(old, new, stage1_mark)
+                yield from self._finish(old, new, touched)
+                yield from self._notify("finish", await_acks=False)
+            finally:
+                server.rpc.dispatch_ns = base_dispatch
+            old.reset()
+            self.stats.cycles += 1
+        except Interrupt:
+            return
+        finally:
+            server.cleaning_active = False
+
+    # -- notifications --------------------------------------------------------
+    def _notify(
+        self, state: str, *, await_acks: bool
+    ) -> Generator[Event, Any, None]:
+        server = self.server
+        self._acks_pending = len(server.sessions) if await_acks else 0
+        for sess in server.sessions:
+            yield from sess.server_ep.send(
+                {"op": "cleaning", "state": state}, 32
+            )
+        while self._acks_pending > 0:
+            yield self.env.timeout(_WAIT_NS)
+
+    # -- stage 1: compress -------------------------------------------------------
+    def _compress(
+        self, old, new, stage1_mark: int, snapshot_boundary: int
+    ) -> Generator[Event, Any, set[int]]:
+        """Reverse-scan the snapshot; move the latest version per key."""
+        server = self.server
+        snapshot = old.allocations[:stage1_mark]  # allocations at stage start
+        seen: set[int] = set()
+        touched: set[int] = set()
+        for alloc in reversed(snapshot):
+            yield self.env.timeout(_SCAN_NS)
+            ident = self._identify(old, alloc.offset)
+            if ident is None:
+                continue
+            fp, key = ident
+            if fp in seen:
+                self.stats.skipped_stale += 1
+                continue
+            seen.add(fp)
+            entry_off = server.table.find(fp)
+            if entry_off is None:
+                continue
+            touched.add(entry_off)
+            cur = server.table.read_cur(entry_off)
+            if cur is None or cur.pool != old.pool_id:
+                continue  # deleted, or already living in the new pool
+            if cur.offset >= snapshot_boundary:
+                # Updated during this scan; stage 2 merges the newer one.
+                continue
+            # cur is a snapshot-era version (possibly this one, possibly
+            # a newer-but-invalidated head); move the latest intact
+            # version along its chain.
+            yield from self._move_latest_intact(entry_off, key, old, new)
+        return touched
+
+    # -- stage 2: merge ------------------------------------------------------------
+    def _merge(
+        self, old, new, stage1_mark: int
+    ) -> Generator[Event, Any, set[int]]:
+        """Merge writes that landed in the old pool during stage 1."""
+        server = self.server
+        stage1_writes = old.allocations[stage1_mark:]
+        seen: set[int] = set()
+        touched: set[int] = set()
+        for alloc in reversed(stage1_writes):
+            yield self.env.timeout(_SCAN_NS)
+            ident = self._identify(old, alloc.offset)
+            if ident is None:
+                continue
+            fp, key = ident
+            if fp in seen:
+                self.stats.skipped_stale += 1
+                continue
+            seen.add(fp)
+            entry_off = server.table.find(fp)
+            if entry_off is None:
+                continue
+            touched.add(entry_off)
+            cur = server.table.read_cur(entry_off)
+            if cur is None:
+                continue
+            if cur.pool == new.pool_id:
+                # D2 case: a newer new-pool version exists; the old one
+                # (D1) is skipped. Its durability is the background
+                # thread's ordinary job.
+                self.stats.skipped_superseded += 1
+                continue
+            yield from self._move_latest_intact(entry_off, key, old, new)
+        return touched
+
+    # -- moving one key's latest intact version -----------------------------------
+    def _identify(self, pool, offset) -> Optional[tuple[int, bytes]]:
+        hdr = parse_header(pool.read(offset, HEADER_SIZE))
+        if hdr is None or not (hdr.flags & FLAG_VALID):
+            return None
+        key = pool.read(offset + HEADER_SIZE, hdr.klen)
+        return key_fingerprint(key), key
+
+    def _move_latest_intact(
+        self, entry_off: int, key: bytes, old, new
+    ) -> Generator[Event, Any, None]:
+        """Find the latest verifiable version along the chain and copy it
+        into the new pool with the durability flag set."""
+        server = self.server
+        cfg = server.config
+        cur = server.table.read_cur(entry_off)
+        loc = (
+            ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
+            if cur is not None
+            else None
+        )
+        while loc is not None:
+            img = server.read_object(loc)
+            if not img.well_formed or not img.valid:
+                loc = server._previous_location(loc)
+                continue
+            if not img.durable:
+                yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+                if not server.object_value_ok(img):
+                    # In-flight write: wait for it; or time it out.
+                    if self.env.now - img.ts <= cfg.verify_timeout_ns:
+                        yield self.env.timeout(_WAIT_NS)
+                        continue  # re-read the same location
+                    server.set_object_flags(loc, img.flags & ~FLAG_VALID)
+                    self.stats.invalidated += 1
+                    loc = server._previous_location(loc)
+                    continue
+                yield from server.persist_object(loc)
+                server.mark_durable(loc, img)
+                img = server.read_object(loc)
+
+            # Copy into the new pool: fresh header (history truncated),
+            # durable from the first byte readers can reach it.
+            new_off = new.allocate(loc.size)
+            header = build_header(
+                flags=FLAG_VALID | FLAG_DURABLE,
+                klen=img.klen,
+                vlen=img.vlen,
+                crc=img.crc,
+                pre_ptr=NULL_PTR,
+                ts=img.ts,
+            )
+            yield self.env.timeout(cfg.nvm_timing.copy_cost(loc.size))
+            new.write(new_off, header + img.key + img.value)
+            yield from server.device.persist(new.abs_addr(new_off), loc.size)
+
+            # Publish as the cleaning copy; mark the original migrated.
+            yield self.env.timeout(cfg.entry_update_ns)
+            new_slot = ObjectLocation(
+                pool=new.pool_id, offset=new_off, size=loc.size
+            ).slot
+            server.table.set_alt(entry_off, new_slot)
+            server.table.persist_entry(entry_off)
+            if loc.pool == old.pool_id:
+                server.set_object_flags(loc, img.flags | FLAG_TRANS)
+            self.stats.moved += 1
+            self.stats.bytes_copied += loc.size
+            return
+        # No intact version: nothing to move (key was never durably
+        # written, or deleted); finish() clears the dangling slot.
+
+    # -- finish -----------------------------------------------------------------------
+    def _finish(self, old, new, touched: set[int]) -> Generator[Event, Any, None]:
+        """Flip every touched entry over to the new pool (Figure 7 end)."""
+        server = self.server
+        t = server.config.nvm_timing
+        for entry_off in touched:
+            yield self.env.timeout(2 * t.store_ns)
+            cur = server.table.read_cur(entry_off)
+            alt = server.table.read_alt(entry_off)
+            if cur is not None and cur.pool == new.pool_id:
+                # Raced with a new-pool write: splice its chain onto the
+                # moved copy and retire the alt slot.
+                self._fix_cross_pool_chain(cur, old.pool_id, alt, new.pool_id)
+                server.table.clear_alt(entry_off)
+            elif alt is not None:
+                server.table.promote_alt(entry_off)
+            elif cur is not None and cur.pool == old.pool_id:
+                # Nothing intact was moved: the key has no durable data.
+                server.table.clear_cur(entry_off)
+            server.table.persist_entry(entry_off)
+            self.stats.entries_fixed += 1
+
+    def _fix_cross_pool_chain(
+        self, cur, old_pool_id: int, alt, new_pool_id: int
+    ) -> None:
+        """Rewrite the first old-pool PrePTR in a new-pool chain to the
+        moved copy (or null it when nothing was moved)."""
+        server = self.server
+        loc = ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
+        pre_off = OBJECT_HEADER.offset_of("pre_ptr")
+        while True:
+            hdr = parse_header(server.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+            if hdr is None:
+                return
+            prev = unpack_ptr(hdr.pre_ptr)
+            if prev is None:
+                return
+            prev_pool, prev_off_val = prev
+            if prev_pool == old_pool_id:
+                new_ptr = (
+                    pack_ptr(alt.pool, alt.offset) if alt is not None else NULL_PTR
+                )
+                addr = server.pools[loc.pool].abs_addr(loc.offset) + pre_off
+                server.device.write_atomic64(
+                    addr, OBJECT_HEADER.pack_field("pre_ptr", new_ptr)
+                )
+                server.device.buffer.flush(addr, 8)
+                return
+            # hop along the new-pool chain
+            nxt = parse_header(
+                server.pools[prev_pool].read(prev_off_val, HEADER_SIZE)
+            )
+            if nxt is None:
+                return
+            from repro.kv.objects import object_size
+
+            loc = ObjectLocation(
+                pool=prev_pool,
+                offset=prev_off_val,
+                size=object_size(nxt.klen, nxt.vlen),
+            )

@@ -1,0 +1,275 @@
+"""Post-crash recovery.
+
+After a power failure the visible image equals the durable image; the
+server's DRAM state (allocator heads, background queue, pending allocs)
+is gone. Recovery rebuilds a consistent store:
+
+1. **Pool scan** — walk each log pool from the start, parsing headers at
+   alignment boundaries, to re-derive the allocation journal and the log
+   head (allocation is monotone, so the first torn/absent header is the
+   end of the log).
+2. **Index repair** — for every hash entry, walk the version list from
+   the working slot and keep the first version that is *provably*
+   intact: either its durability flag is set on media (the flag is only
+   ever flushed after the value, so flag ⇒ value durable), or its CRC
+   verifies against the on-media value. Torn heads roll back to older
+   versions — the multi-version property the paper's design exists to
+   provide (§4.1). Keys with no intact version are cleared (they were
+   never durably acknowledged under eFactory's guarantees).
+
+Erda's recovery (:func:`recover_erda`) is the two-offset equivalent and
+inherits Erda's limitations: entries were never flushed, so index
+updates survive only by natural eviction, and rollback depth is two.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.baselines.base import BaseServer, ObjectLocation
+from repro.crc.crc32 import crc32_fast
+from repro.errors import RecoveryError
+from repro.kv.hopscotch import HopscotchTable, TwoVersions
+from repro.kv.logpool import Allocation, LogPool
+from repro.kv.objects import (
+    FLAG_DURABLE,
+    FLAG_VALID,
+    HEADER_SIZE,
+    object_size,
+    parse_header,
+    parse_object,
+    unpack_ptr,
+)
+from repro.sim.kernel import Event
+
+__all__ = ["RecoveryReport", "recover_bucketized", "recover_erda", "scan_pool"]
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one recovery pass."""
+
+    keys_recovered: int = 0      # latest version was intact
+    keys_rolled_back: int = 0    # an older version won
+    keys_lost: int = 0           # no intact version existed
+    torn_objects: int = 0        # versions rejected by CRC/parse
+    objects_scanned: int = 0
+    pool_heads: list[int] = field(default_factory=list)
+    duration_ns: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "keys_recovered": self.keys_recovered,
+            "keys_rolled_back": self.keys_rolled_back,
+            "keys_lost": self.keys_lost,
+            "torn_objects": self.torn_objects,
+            "objects_scanned": self.objects_scanned,
+            "pool_heads": list(self.pool_heads),
+            "duration_ns": self.duration_ns,
+        }
+
+
+def scan_pool(pool: LogPool) -> list[Allocation]:
+    """Re-derive the allocation journal from on-media headers."""
+    allocations: list[Allocation] = []
+    offset = 0
+    while offset + HEADER_SIZE <= pool.size:
+        hdr = parse_header(pool.read(offset, HEADER_SIZE))
+        if hdr is None:
+            break  # end of log (or torn final header — same thing)
+        size = object_size(hdr.klen, hdr.vlen)
+        if offset + size > pool.size:
+            break
+        allocations.append(Allocation(offset, size))
+        offset += (size + pool.align - 1) & ~(pool.align - 1)
+    return allocations
+
+
+def recover_bucketized(
+    server: BaseServer,
+) -> Generator[Event, Any, RecoveryReport]:
+    """Recovery for the bucketized-index stores (eFactory, CA, SAW, IMM,
+    RPC, Forca). A timed generator: run it in a simulated process."""
+    env = server.env
+    t = server.config.nvm_timing
+    report = RecoveryReport()
+    start = env.now
+
+    # 1. pool scans
+    for pool in server.pools:
+        allocations = scan_pool(pool)
+        yield env.timeout(
+            t.read_cost(HEADER_SIZE) * max(1, len(allocations) + 1)
+        )
+        pool.allocations = allocations
+        if allocations:
+            last = allocations[-1]
+            pool.head = (
+                (last.offset + last.size + pool.align - 1) & ~(pool.align - 1)
+            )
+        else:
+            pool.head = 0
+        report.pool_heads.append(pool.head)
+        report.objects_scanned += len(allocations)
+
+    # 2. index repair
+    for entry_off, entry in server.table.iter_entries():
+        yield env.timeout(t.read_cost(32))
+        cur = server.table.read_cur(entry_off)
+        alt = server.table.read_alt(entry_off)
+
+        winner, rolled, torn = yield from _resolve_chain(server, entry.fp, cur)
+        report.torn_objects += torn
+        if winner is None and alt is not None:
+            alt_loc = ObjectLocation(pool=alt.pool, offset=alt.offset, size=alt.size)
+            ok = yield from _verify_version(server, entry.fp, alt_loc)
+            if ok:
+                winner, rolled = alt_loc, True
+
+        if winner is None:
+            if cur is not None or alt is not None:
+                report.keys_lost += 1
+            server.table.clear_cur(entry_off)
+            server.table.clear_alt(entry_off)
+            server.table.persist_entry(entry_off)
+            continue
+
+        img = server.read_object(winner)
+        server.set_object_flags(winner, img.flags | FLAG_DURABLE)
+        yield from server.persist_object(winner)
+        server.table.set_cur(entry_off, winner.slot)
+        server.table.clear_alt(entry_off)
+        server.table.persist_entry(entry_off)
+        if rolled:
+            report.keys_rolled_back += 1
+        else:
+            report.keys_recovered += 1
+
+    report.duration_ns = env.now - start
+    return report
+
+
+def _resolve_chain(
+    server: BaseServer, fp: int, cur
+) -> Generator[Event, Any, tuple[Optional[ObjectLocation], bool, int]]:
+    """Walk a version chain; return (winner, rolled_back, torn_count)."""
+    torn = 0
+    rolled = False
+    loc = (
+        ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
+        if cur is not None
+        else None
+    )
+    while loc is not None:
+        ok = yield from _verify_version(server, fp, loc)
+        if ok:
+            return loc, rolled, torn
+        torn += 1
+        rolled = True
+        # follow the on-media pre_ptr
+        hdr = parse_header(server.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+        prev = unpack_ptr(hdr.pre_ptr) if hdr is not None else None
+        if prev is None:
+            return None, rolled, torn
+        pool_id, offset = prev
+        prev_hdr = parse_header(server.pools[pool_id].read(offset, HEADER_SIZE))
+        if prev_hdr is None:
+            return None, rolled, torn
+        loc = ObjectLocation(
+            pool=pool_id,
+            offset=offset,
+            size=object_size(prev_hdr.klen, prev_hdr.vlen),
+        )
+    return None, rolled, torn
+
+
+def _verify_version(
+    server: BaseServer, fp: int, loc: ObjectLocation
+) -> Generator[Event, Any, bool]:
+    """Is the version at ``loc`` provably intact on media?"""
+    from repro.kv.hashtable import key_fingerprint
+
+    env = server.env
+    t = server.config.nvm_timing
+    yield env.timeout(t.read_cost(loc.size))
+    try:
+        img = server.read_object(loc)
+    except Exception:
+        return False
+    if not img.well_formed or not (img.flags & FLAG_VALID):
+        return False
+    if key_fingerprint(img.key) != fp:
+        return False
+    if img.durable:
+        return True  # flag flushed only after the value: trustworthy
+    yield env.timeout(server.config.crc_cost.cost_ns(img.vlen))
+    return server.object_value_ok(img)
+
+
+def recover_erda(server) -> Generator[Event, Any, RecoveryReport]:
+    """Erda recovery: check off1 then off2 of whatever entry state
+    survived natural eviction."""
+    env = server.env
+    t = server.config.nvm_timing
+    table: HopscotchTable = server.table
+    if not isinstance(table, HopscotchTable):
+        raise RecoveryError("recover_erda needs a hopscotch-indexed server")
+    report = RecoveryReport()
+    start = env.now
+
+    pool = server.pools[0]
+    pool.allocations = scan_pool(pool)
+    report.objects_scanned = len(pool.allocations)
+    if pool.allocations:
+        last = pool.allocations[-1]
+        pool.head = (last.offset + last.size + pool.align - 1) & ~(pool.align - 1)
+    report.pool_heads.append(pool.head)
+    yield env.timeout(t.read_cost(HEADER_SIZE) * max(1, report.objects_scanned))
+
+    for idx in range(table.n_buckets):
+        entry = table._read(idx)
+        if entry.fp == 0:
+            continue
+        yield env.timeout(t.read_cost(16))
+        region = TwoVersions.unpack(entry.atomic)
+        winner: Optional[int] = None
+        rolled = False
+        for attempt, off in enumerate((region.off1, region.off2)):
+            if off is None:
+                continue
+            hdr = parse_header(pool.read(off, HEADER_SIZE))
+            if hdr is None:
+                report.torn_objects += 1
+                rolled = True
+                continue
+            size = object_size(hdr.klen, hdr.vlen)
+            yield env.timeout(
+                t.read_cost(size) + server.config.crc_cost.cost_ns(hdr.vlen)
+            )
+            img = parse_object(pool.read(off, size))
+            if (
+                img.well_formed
+                and img.vlen == len(img.value)
+                and crc32_fast(img.value) == img.crc
+            ):
+                winner = off
+                rolled = rolled or attempt > 0
+                break
+            report.torn_objects += 1
+            rolled = True
+        if winner is None:
+            table._write_atomic(idx, 0)
+            report.keys_lost += 1
+        else:
+            table._write_atomic(
+                idx, TwoVersions(off1=winner, off2=None, tag=region.tag).pack()
+            )
+            if rolled:
+                report.keys_rolled_back += 1
+            else:
+                report.keys_recovered += 1
+
+    report.duration_ns = env.now - start
+    return report

@@ -1,0 +1,190 @@
+"""The eFactory server (paper §4).
+
+Composition of the shared client-active allocation path
+(:meth:`repro.baselines.base.BaseServer.alloc_object` — Figure 5 steps
+2–4, with metadata persisted before the ack), the background
+verification thread (§4.3.2), the RPC read path with the *selective
+durability guarantee* (§4.3.3 steps 6–8 / §5.3 "durability check first,
+CRC only if needed"), and the two-stage log cleaner (§4.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional
+
+from repro.baselines.base import (
+    BaseServer,
+    ObjectLocation,
+    RESPONSE_BYTES,
+)
+from repro.core.background import BackgroundVerifier
+from repro.core.config import EFactoryConfig, efactory_config
+from repro.kv.objects import FLAG_VALID, HEADER_SIZE, object_size, parse_header, unpack_ptr
+from repro.rdma.fabric import Fabric
+from repro.rdma.rpc import rpc_error
+from repro.rdma.verbs import Message
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["EFactoryServer"]
+
+
+class EFactoryServer(BaseServer):
+    store_name = "efactory"
+    publish_on_alloc = True  # Figure 5 step 3: index updated at alloc
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        config: Optional[EFactoryConfig] = None,
+        name: str = "server",
+    ) -> None:
+        super().__init__(env, fabric, config or efactory_config(), name=name)
+        cfg: EFactoryConfig = self.config  # type: ignore[assignment]
+        # Multiple receive regions -> cheaper per-message dispatch (§6.1).
+        self.rpc.dispatch_ns = cfg.effective_dispatch_ns
+        self.background = BackgroundVerifier(self)
+        from repro.core.log_cleaning import LogCleaner  # avoid import cycle
+
+        self.cleaner = LogCleaner(self)
+        self.cleaning_active = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        self.background.start()
+
+    def stop(self) -> None:
+        super().stop()
+        self.background.stop()
+        self.cleaner.stop()
+
+    # -- handlers ----------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        super()._register_handlers()
+        self.rpc.register("get_loc", self._handle_get_loc)
+        self.rpc.register("delete", self._handle_delete)
+        self.rpc.register("cleaning_ack", self._handle_cleaning_ack)
+
+    def on_allocated(self, loc: ObjectLocation, entry_off: int) -> None:
+        """Feed the background thread; maybe trigger log cleaning."""
+        self.background.enqueue(loc)
+        cfg: EFactoryConfig = self.config  # type: ignore[assignment]
+        if (
+            cfg.auto_clean
+            and not self.cleaning_active
+            and self.pools[self.write_pool_id].needs_cleaning()
+        ):
+            self.cleaner.trigger()
+
+    def _handle_cleaning_ack(self, msg: Message) -> Generator[Event, Any, None]:
+        self.cleaner.note_ack()
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    # -- the RPC read path (§4.3.3 steps 6-8) --------------------------------------
+    def _handle_get_loc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
+        cfg = self.config
+        key: bytes = msg.payload["key"]
+        yield self.env.timeout(cfg.index_ns)
+        found = self.lookup_slot(key)
+        if found is None:
+            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+        _entry_off, cur, alt = found
+
+        # Walk the version list from the latest version (step 7).
+        loc = _loc(cur)
+        while loc is not None:
+            resolved = yield from self._resolve_version(loc, key)
+            if resolved is not None:
+                return (
+                    {"pool": resolved.pool, "offset": resolved.offset,
+                     "size": resolved.size},
+                    RESPONSE_BYTES,
+                )
+            loc = self._previous_location(loc)
+
+        # Fall back to the log-cleaning copy (durable by construction).
+        if alt is not None:
+            loc = _loc(alt)
+            img = self.read_object(loc)
+            if img.well_formed and img.key == key and img.durable:
+                return (
+                    {"pool": loc.pool, "offset": loc.offset, "size": loc.size},
+                    RESPONSE_BYTES,
+                )
+        return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+
+    def _resolve_version(
+        self, loc: ObjectLocation, key: bytes
+    ) -> Generator[Event, Any, Optional[ObjectLocation]]:
+        """Selective durability guarantee for one version.
+
+        Durability check first (cheap); CRC + persist only when the
+        background thread has not gotten there yet — the difference from
+        Forca, which CRCs every read.
+        """
+        cfg = self.config
+        yield self.env.timeout(80.0)  # header peek
+        img = self.read_object(loc)
+        if not img.well_formed or img.key != key or not img.valid:
+            return None
+        if img.durable:
+            return loc
+        # Not yet durable: verify + persist on the request path so the
+        # reader is never blocked behind the background thread's cursor.
+        yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+        if self.object_value_ok(img):
+            yield from self.persist_object(loc)
+            self.mark_durable(loc, img)
+            return loc
+        return None
+
+    def _previous_location(self, loc: ObjectLocation) -> Optional[ObjectLocation]:
+        hdr = parse_header(self.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+        if hdr is None:
+            return None
+        prev = unpack_ptr(hdr.pre_ptr)
+        if prev is None:
+            return None
+        pool_id, offset = prev
+        prev_hdr = parse_header(self.pools[pool_id].read(offset, HEADER_SIZE))
+        if prev_hdr is None:
+            return None
+        return ObjectLocation(
+            pool=pool_id,
+            offset=offset,
+            size=object_size(prev_hdr.klen, prev_hdr.vlen),
+        )
+
+    # -- delete (API completeness; reclaimed by log cleaning) ------------------------
+    def _handle_delete(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
+        cfg = self.config
+        key: bytes = msg.payload["key"]
+        yield self.env.timeout(cfg.index_ns)
+        found = self.lookup_slot(key)
+        if found is None or found[1] is None:
+            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+        entry_off, cur, _alt = found
+        loc = _loc(cur)
+        img = self.read_object(loc)
+        yield self.env.timeout(cfg.entry_update_ns)
+        self.table.clear_cur(entry_off)
+        self.table.clear_alt(entry_off)
+        self.table.persist_entry(entry_off)
+        if img.well_formed:
+            self.set_object_flags(loc, img.flags & ~FLAG_VALID)
+        yield self.env.timeout(cfg.nvm_timing.flush_cost(32))
+        return {"ok": True}, RESPONSE_BYTES
+
+    # -- maintenance -----------------------------------------------------------------
+    def trigger_cleaning(self):
+        """Manually start a log-cleaning cycle (benchmarks, tests)."""
+        return self.cleaner.trigger()
+
+
+def _loc(slot) -> Optional[ObjectLocation]:
+    if slot is None:
+        return None
+    return ObjectLocation(pool=slot.pool, offset=slot.offset, size=slot.size)

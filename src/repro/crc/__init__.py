@@ -1,0 +1,6 @@
+"""CRC-32 integrity checking: real checksums + calibrated time cost."""
+
+from repro.crc.cost import CrcCostModel
+from repro.crc.crc32 import CRC32_POLY, crc32, crc32_combine, crc32_fast
+
+__all__ = ["CRC32_POLY", "CrcCostModel", "crc32", "crc32_combine", "crc32_fast"]

@@ -1,0 +1,28 @@
+"""Experiment harness: runner, metrics, crash oracle, canned figures."""
+
+from repro.harness.crash import (
+    CrashReport,
+    CrashSpec,
+    KeyAudit,
+    run_crash_experiment,
+)
+from repro.harness.metrics import LatencyRecorder, LatencySummary, summarize
+from repro.harness.repeat import Aggregate, ReplicatedResult, run_replicated
+from repro.harness.runner import RunResult, RunSpec, run_experiment, size_pool_for
+
+__all__ = [
+    "Aggregate",
+    "CrashReport",
+    "CrashSpec",
+    "KeyAudit",
+    "LatencyRecorder",
+    "LatencySummary",
+    "ReplicatedResult",
+    "RunResult",
+    "RunSpec",
+    "run_crash_experiment",
+    "run_experiment",
+    "run_replicated",
+    "size_pool_for",
+    "summarize",
+]

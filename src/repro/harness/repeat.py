@@ -1,0 +1,76 @@
+"""Replicated runs: the paper's "each data value is the average of
+5-run results" (§5.2), with confidence intervals.
+
+:func:`run_replicated` executes one :class:`~repro.harness.runner.RunSpec`
+under several seeds and aggregates throughput and latency percentiles
+into mean ± 95% half-width. Simulation runs are deterministic per seed,
+so replication measures *workload/jitter* variance, exactly like the
+paper's repeated trials measure run-to-run noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.analysis.stats import ci95
+from repro.errors import ConfigError
+from repro.harness.runner import RunResult, RunSpec, run_experiment
+
+__all__ = ["Aggregate", "ReplicatedResult", "run_replicated"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean ± 95% half-width over replicas."""
+
+    mean: float
+    half_width: float
+    samples: tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g}"
+
+
+@dataclass
+class ReplicatedResult:
+    spec: RunSpec
+    seeds: tuple[int, ...]
+    results: list[RunResult]
+    throughput_mops: Aggregate
+    get_p50_ns: Aggregate
+    put_p50_ns: Aggregate
+    total_errors: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.store} x{len(self.seeds)} seeds: "
+            f"{self.throughput_mops} Mops/s, "
+            f"get p50 {self.get_p50_ns} ns, put p50 {self.put_p50_ns} ns"
+        )
+
+
+def _agg(samples: Sequence[float]) -> Aggregate:
+    clean = [s for s in samples if s == s]  # drop NaN (e.g. no GETs)
+    if not clean:
+        return Aggregate(float("nan"), float("nan"), tuple(samples))
+    mean, half = ci95(clean)
+    return Aggregate(mean, half, tuple(samples))
+
+
+def run_replicated(
+    spec: RunSpec, seeds: Sequence[int] = (42, 43, 44, 45, 46)
+) -> ReplicatedResult:
+    """Run ``spec`` once per seed (the paper averages 5 runs)."""
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    results = [run_experiment(replace(spec, seed=seed)) for seed in seeds]
+    return ReplicatedResult(
+        spec=spec,
+        seeds=tuple(seeds),
+        results=results,
+        throughput_mops=_agg([r.throughput_mops for r in results]),
+        get_p50_ns=_agg([r.latency.median("get") for r in results]),
+        put_p50_ns=_agg([r.latency.median("put") for r in results]),
+        total_errors=sum(r.errors for r in results),
+    )

@@ -1,0 +1,182 @@
+"""Closed-loop multi-client experiment runner (the §5/§6 methodology).
+
+One run = one fresh simulation: a server, ``n_clients`` closed-loop
+client processes (each issues its next operation as soon as the previous
+completes — "issuing operations as fast as possible", §6.1), a preload
+phase that inserts every key once, an optional settle phase that lets
+eFactory's background thread drain, then a measured phase. Latencies are
+recorded per operation kind after per-client warmup; throughput is
+measured ops over the measurement wall-span.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import StoreError
+from repro.harness.metrics import LatencyRecorder
+from repro.rdma.rpc import RpcFault
+from repro.sim.kernel import Environment, Event
+from repro.sim.rng import RngRegistry
+from repro.stores import StoreSetup, build_store
+from repro.workloads.keyspace import make_key, make_value
+from repro.workloads.ycsb import WorkloadSpec
+
+__all__ = ["RunSpec", "RunResult", "run_experiment", "size_pool_for"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one experiment run."""
+
+    store: str
+    workload: WorkloadSpec
+    n_clients: int = 8
+    ops_per_client: int = 800
+    warmup_ops: int = 100
+    seed: int = 42
+    settle_ns: float = 20_000_000.0  # generous: _settle exits early once the backlog drains
+    config_overrides: dict = field(default_factory=dict)
+
+    @property
+    def total_measured_ops(self) -> int:
+        return self.n_clients * self.ops_per_client
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one run."""
+
+    spec: RunSpec
+    latency: LatencyRecorder
+    measured_ops: int
+    window_ns: float
+    errors: int
+    #: eFactory factor analysis: pure vs fallback reads (zeros elsewhere).
+    pure_reads: int = 0
+    fallback_reads: int = 0
+
+    @property
+    def throughput_mops(self) -> float:
+        """Throughput in million operations per second (simulated)."""
+        if self.window_ns <= 0:
+            return 0.0
+        return self.measured_ops / self.window_ns * 1e3
+
+    @property
+    def kops(self) -> float:
+        return self.throughput_mops * 1000.0
+
+
+def size_pool_for(spec: RunSpec) -> int:
+    """A pool large enough that the run never exhausts it (benchmarks
+    compare schemes, not allocators; only Fig 11 exercises cleaning)."""
+    w = spec.workload
+    obj = 64 + w.key_len + w.value_len  # header + key + value, aligned-ish
+    total_puts = (
+        w.key_count  # preload
+        + spec.n_clients * (spec.ops_per_client + spec.warmup_ops)  # worst case
+    )
+    return max(32 << 20, int(total_puts * obj * 1.5))
+
+
+def run_experiment(spec: RunSpec, post_setup=None) -> RunResult:
+    """Execute one run in a fresh simulation environment.
+
+    ``post_setup(env, setup)``, if given, runs after preload/settle and
+    before measurement — e.g. Fig 11 uses it to keep log cleaning
+    running throughout the measured window.
+    """
+    env = Environment()
+    rngs = RngRegistry(spec.seed)
+    overrides: dict[str, Any] = {"pool_size": size_pool_for(spec)}
+    if spec.store.startswith("efactory"):
+        overrides["auto_clean"] = False  # Fig 11 triggers cleaning explicitly
+    overrides.update(spec.config_overrides)
+
+    setup = build_store(
+        spec.store, env, config_overrides=overrides, n_clients=spec.n_clients
+    ).start()
+
+    w = spec.workload
+    keys = [make_key(k, w.key_len) for k in range(w.key_count)]
+    versions = [0] * w.key_count  # shared monotone version counter per key
+
+    # -- preload ------------------------------------------------------------
+    def preload() -> Generator[Event, Any, None]:
+        client = setup.client(0)
+        for kid in range(w.key_count):
+            yield from client.put(keys[kid], make_value(kid, 0, w.value_len))
+
+    env.run(env.process(preload(), name="preload"))
+    _settle(env, setup, spec.settle_ns)
+    if post_setup is not None:
+        post_setup(env, setup)
+
+    # -- measured phase ----------------------------------------------------------
+    recorder = LatencyRecorder()
+    state = {"errors": 0, "start": [float("inf")], "end": [0.0]}
+
+    def client_proc(i: int) -> Generator[Event, Any, None]:
+        client = setup.client(i)
+        rng = rngs.stream(f"client{i}")
+        ops = w.client_stream(rng, spec.warmup_ops + spec.ops_per_client)
+        for j, op in enumerate(ops):
+            yield from client.poll_notifications()
+            measured = j >= spec.warmup_ops
+            if measured:
+                state["start"][0] = min(state["start"][0], env.now)
+            t0 = env.now
+            try:
+                if op.kind == "put":
+                    versions[op.key_id] += 1
+                    value = make_value(op.key_id, versions[op.key_id], w.value_len)
+                    yield from client.put(keys[op.key_id], value)
+                elif op.kind == "rmw":
+                    # YCSB-F: dependent read-then-write of the same key
+                    yield from client.get(keys[op.key_id], size_hint=w.value_len)
+                    versions[op.key_id] += 1
+                    value = make_value(op.key_id, versions[op.key_id], w.value_len)
+                    yield from client.put(keys[op.key_id], value)
+                else:
+                    yield from client.get(keys[op.key_id], size_hint=w.value_len)
+            except (StoreError, RpcFault):
+                state["errors"] += 1
+                continue
+            if measured:
+                recorder.record(op.kind, env.now - t0)
+        state["end"][0] = max(state["end"][0], env.now)
+
+    procs = [
+        env.process(client_proc(i), name=f"client{i}")
+        for i in range(spec.n_clients)
+    ]
+    env.run(env.all_of(procs))
+    setup.server.stop()
+
+    pure = sum(getattr(c, "pure_reads", 0) for c in setup.clients)
+    fallback = sum(getattr(c, "fallback_reads", 0) for c in setup.clients)
+    window = max(0.0, state["end"][0] - state["start"][0])
+    return RunResult(
+        spec=spec,
+        latency=recorder,
+        measured_ops=recorder.count(),
+        window_ns=window,
+        errors=state["errors"],
+        pure_reads=pure,
+        fallback_reads=fallback,
+    )
+
+
+def _settle(env: Environment, setup: StoreSetup, settle_ns: float) -> None:
+    """Let asynchronous machinery (eFactory's background thread) drain."""
+    if settle_ns <= 0:
+        return
+    deadline = env.now + settle_ns
+    background = getattr(setup.server, "background", None)
+    while env.now < deadline:
+        env.run(until=min(deadline, env.now + 50_000.0))
+        if background is None or background.backlog == 0:
+            break

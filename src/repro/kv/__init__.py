@@ -1,0 +1,63 @@
+"""Key-value building blocks shared by all the stores: on-NVM object
+layout, log-structured pools, and the two hash index flavours."""
+
+from repro.kv.hashtable import (
+    ENTRY_SIZE,
+    HashTableGeometry,
+    NvmHashTable,
+    Slot,
+    client_lookup_bucket,
+    key_fingerprint,
+)
+from repro.kv.hopscotch import (
+    ERDA_ENTRY_SIZE,
+    ERDA_GRANULE,
+    HopscotchTable,
+    TwoVersions,
+    client_scan_neighborhood,
+)
+from repro.kv.logpool import Allocation, LogPool
+from repro.kv.objects import (
+    FLAG_DURABLE,
+    FLAG_TRANS,
+    FLAG_VALID,
+    HEADER_SIZE,
+    NULL_PTR,
+    OBJ_MAGIC,
+    OBJECT_HEADER,
+    ObjectImage,
+    build_header,
+    object_size,
+    pack_ptr,
+    parse_object,
+    unpack_ptr,
+)
+
+__all__ = [
+    "Allocation",
+    "ENTRY_SIZE",
+    "ERDA_ENTRY_SIZE",
+    "ERDA_GRANULE",
+    "FLAG_DURABLE",
+    "FLAG_TRANS",
+    "FLAG_VALID",
+    "HEADER_SIZE",
+    "HashTableGeometry",
+    "HopscotchTable",
+    "LogPool",
+    "NULL_PTR",
+    "NvmHashTable",
+    "OBJECT_HEADER",
+    "OBJ_MAGIC",
+    "ObjectImage",
+    "Slot",
+    "TwoVersions",
+    "build_header",
+    "client_lookup_bucket",
+    "client_scan_neighborhood",
+    "key_fingerprint",
+    "object_size",
+    "pack_ptr",
+    "parse_object",
+    "unpack_ptr",
+]

@@ -1,0 +1,212 @@
+"""Byte-addressable memory with a volatility/persistence boundary.
+
+:class:`PersistentBuffer` models the state (not the timing — see
+:mod:`repro.nvm.device`) of NVMM behind a write-back cache hierarchy:
+
+* ``visible`` — what loads (and RDMA READs) observe *now*: the union of
+  CPU-cache / DDIO-LLC contents and the media.
+* ``durable`` — what is actually on the NVM media and survives a crash.
+
+Stores and inbound DMA update ``visible`` and mark the covered 64-byte
+cachelines *dirty*. ``flush`` (CLWB/CLFLUSH + SFENCE at a higher layer)
+copies dirty lines to ``durable``. On a crash each dirty line is
+independently either *naturally evicted* (it made it to media on its
+own — the behaviour Erda relies on and that causes its non-monotonic
+reads) or lost, in which case ``visible`` reverts to the durable image.
+
+Line-granular crash atomicity subsumes the 8-byte failure-atomicity unit
+of real NVM for aligned 8-byte stores, which is what every scheme in the
+paper relies on (hash-entry updates); :meth:`write_atomic64` asserts the
+alignment invariant.
+
+Dirty tracking uses a NumPy boolean array so that flush/crash sweeps are
+vectorised (guides: prefer masks over Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryAccessError
+
+__all__ = ["CACHELINE", "PersistentBuffer", "BufferStats"]
+
+#: Cacheline size in bytes; the dirty-tracking and crash granularity.
+CACHELINE = 64
+
+
+class BufferStats:
+    """Running counters for a :class:`PersistentBuffer`."""
+
+    __slots__ = (
+        "bytes_written",
+        "bytes_read",
+        "lines_flushed",
+        "flush_calls",
+        "crashes",
+        "lines_evicted_on_crash",
+        "lines_lost_on_crash",
+    )
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.lines_flushed = 0
+        self.flush_calls = 0
+        self.crashes = 0
+        self.lines_evicted_on_crash = 0
+        self.lines_lost_on_crash = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PersistentBuffer:
+    """State model of an NVMM address space (see module docstring)."""
+
+    __slots__ = ("size", "visible", "durable", "_dirty", "stats")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise MemoryAccessError(f"buffer size must be positive, got {size}")
+        self.size = size
+        self.visible = bytearray(size)
+        self.durable = bytearray(size)
+        n_lines = (size + CACHELINE - 1) // CACHELINE
+        self._dirty = np.zeros(n_lines, dtype=bool)
+        self.stats = BufferStats()
+
+    # -- bounds ------------------------------------------------------------
+    def _check(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise MemoryAccessError(
+                f"access [{addr}, {addr + length}) outside buffer of size {self.size}"
+            )
+
+    def _line_span(self, addr: int, length: int) -> tuple[int, int]:
+        """First and one-past-last line index covering ``[addr, addr+length)``."""
+        if length == 0:
+            return 0, 0
+        return addr // CACHELINE, (addr + length - 1) // CACHELINE + 1
+
+    # -- access ------------------------------------------------------------
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        """Store ``data`` at ``addr`` (visible immediately, not durable)."""
+        n = len(data)
+        self._check(addr, n)
+        if n == 0:
+            return
+        self.visible[addr : addr + n] = data
+        lo, hi = self._line_span(addr, n)
+        self._dirty[lo:hi] = True
+        self.stats.bytes_written += n
+
+    def write_atomic64(self, addr: int, data: bytes) -> None:
+        """An aligned 8-byte store — the failure-atomicity unit of NVM."""
+        if len(data) != 8:
+            raise MemoryAccessError(f"atomic64 write needs 8 bytes, got {len(data)}")
+        if addr % 8 != 0:
+            raise MemoryAccessError(f"atomic64 write to unaligned address {addr}")
+        self.write(addr, data)
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Load from the *visible* image (what RDMA READ returns)."""
+        self._check(addr, length)
+        self.stats.bytes_read += length
+        return bytes(self.visible[addr : addr + length])
+
+    def read_durable(self, addr: int, length: int) -> bytes:
+        """Load from the media image (post-crash contents)."""
+        self._check(addr, length)
+        return bytes(self.durable[addr : addr + length])
+
+    # -- persistence -------------------------------------------------------
+    def flush(self, addr: int, length: int) -> int:
+        """Write back all lines covering the range; returns #lines flushed.
+
+        Clean lines in the range are skipped (CLWB semantics on an
+        already-clean line are free at the state level; the *timing*
+        model in :mod:`repro.nvm.device` still charges for issuing the
+        instruction over the full range, as real code does).
+        """
+        self._check(addr, length)
+        self.stats.flush_calls += 1
+        if length == 0:
+            return 0
+        lo, hi = self._line_span(addr, length)
+        dirty_idx = np.flatnonzero(self._dirty[lo:hi]) + lo
+        for line in dirty_idx:
+            start = int(line) * CACHELINE
+            end = min(start + CACHELINE, self.size)
+            self.durable[start:end] = self.visible[start:end]
+        self._dirty[lo:hi] = False
+        n = int(dirty_idx.size)
+        self.stats.lines_flushed += n
+        return n
+
+    def flush_all(self) -> int:
+        """Write back every dirty line (used at clean shutdown)."""
+        return self.flush(0, self.size)
+
+    def is_persistent(self, addr: int, length: int) -> bool:
+        """True when no line covering the range is dirty *and* the visible
+        and durable images agree on the exact byte range.
+
+        The byte-level comparison matters: a line may have been re-dirtied
+        by a neighbouring object after this range was flushed, in which
+        case the range itself is still durable.
+        """
+        self._check(addr, length)
+        if length == 0:
+            return True
+        lo, hi = self._line_span(addr, length)
+        if not self._dirty[lo:hi].any():
+            return True
+        return self.visible[addr : addr + length] == self.durable[addr : addr + length]
+
+    def dirty_line_count(self) -> int:
+        return int(self._dirty.sum())
+
+    def dirty_lines_in(self, addr: int, length: int) -> int:
+        """Number of dirty lines covering the range (flush-cost input)."""
+        self._check(addr, length)
+        if length == 0:
+            return 0
+        lo, hi = self._line_span(addr, length)
+        return int(self._dirty[lo:hi].sum())
+
+    # -- crash semantics -----------------------------------------------------
+    def crash(self, rng: np.random.Generator, evict_probability: float = 0.5) -> dict:
+        """Power failure: resolve every dirty line, then expose the media.
+
+        Each dirty line is independently *naturally evicted* (survives)
+        with ``evict_probability``, else its volatile contents are lost.
+        Afterwards ``visible == durable`` and nothing is dirty.
+
+        Returns a summary dict (``evicted``, ``lost`` line counts).
+        """
+        if not 0.0 <= evict_probability <= 1.0:
+            raise MemoryAccessError(
+                f"evict_probability must be in [0,1], got {evict_probability}"
+            )
+        dirty_idx = np.flatnonzero(self._dirty)
+        if dirty_idx.size:
+            survives = rng.random(dirty_idx.size) < evict_probability
+            for line in dirty_idx[survives]:
+                start = int(line) * CACHELINE
+                end = min(start + CACHELINE, self.size)
+                self.durable[start:end] = self.visible[start:end]
+        evicted = int(survives.sum()) if dirty_idx.size else 0
+        lost = int(dirty_idx.size) - evicted
+        self.visible[:] = self.durable
+        self._dirty[:] = False
+        self.stats.crashes += 1
+        self.stats.lines_evicted_on_crash += evicted
+        self.stats.lines_lost_on_crash += lost
+        return {"evicted": evicted, "lost": lost}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PersistentBuffer size={self.size} "
+            f"dirty_lines={self.dirty_line_count()}>"
+        )

@@ -1,0 +1,135 @@
+"""Declarative binary struct layouts.
+
+The stores in this library keep *all* of their server-side state —
+objects, object metadata, hash buckets — as raw bytes inside a
+:class:`~repro.mem.buffer.PersistentBuffer`, exactly because clients
+access that state with one-sided RDMA reads of raw memory. This module
+gives each on-NVM structure a single authoritative layout definition
+shared by the server (which writes fields) and the client (which parses
+bytes it fetched remotely).
+
+Layouts are thin wrappers over :mod:`struct` with named fields, per-field
+offsets (so a single field can be updated with one small — possibly
+atomic — store), and fixed total size.
+
+>>> hdr = StructLayout("demo", [("vlen", "I"), ("crc", "I"), ("pre", "Q")])
+>>> hdr.size
+16
+>>> raw = hdr.pack(vlen=5, crc=0xDEAD, pre=0)
+>>> hdr.unpack(raw).crc == 0xDEAD
+True
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, NamedTuple
+
+from repro.errors import ConfigError
+
+__all__ = ["FieldSpec", "StructLayout"]
+
+#: struct format codes accepted for fields (little-endian, no padding).
+_ALLOWED = set("BHIQbhiq") | {"s"}
+
+
+class FieldSpec(NamedTuple):
+    """One field in a layout: name, struct code, byte offset, byte size."""
+
+    name: str
+    code: str
+    offset: int
+    size: int
+
+
+class StructLayout:
+    """A named, fixed-size little-endian binary record.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name.
+    fields:
+        Sequence of ``(field_name, code)`` where ``code`` is a single
+        :mod:`struct` integer code (``B H I Q`` / signed variants) or
+        ``"<N>s"`` for an N-byte opaque field.
+    """
+
+    __slots__ = ("name", "fields", "size", "_fmt", "_names", "_tuple_type")
+
+    def __init__(self, name: str, fields: list[tuple[str, str]]) -> None:
+        self.name = name
+        specs: list[FieldSpec] = []
+        offset = 0
+        fmt_parts = ["<"]
+        names: list[str] = []
+        for fname, code in fields:
+            base = code.lstrip("0123456789")
+            if base not in _ALLOWED:
+                raise ConfigError(f"{name}.{fname}: unsupported field code {code!r}")
+            size = struct.calcsize("<" + code)
+            specs.append(FieldSpec(fname, code, offset, size))
+            offset += size
+            fmt_parts.append(code)
+            names.append(fname)
+        if len(set(names)) != len(names):
+            raise ConfigError(f"layout {name} has duplicate field names")
+        self.fields = tuple(specs)
+        self.size = offset
+        self._fmt = "".join(fmt_parts)
+        self._names = tuple(names)
+        self._tuple_type = NamedTuple(  # type: ignore[misc]
+            f"{name}_record", [(n, Any) for n in names]
+        )
+
+    # -- whole-record ------------------------------------------------------
+    def pack(self, **values: Any) -> bytes:
+        """Pack a full record; every field must be supplied."""
+        missing = set(self._names) - set(values)
+        if missing:
+            raise ConfigError(f"{self.name}.pack missing fields: {sorted(missing)}")
+        extra = set(values) - set(self._names)
+        if extra:
+            raise ConfigError(f"{self.name}.pack unknown fields: {sorted(extra)}")
+        ordered = [values[n] for n in self._names]
+        return struct.pack(self._fmt, *ordered)
+
+    def unpack(self, raw: bytes | bytearray | memoryview) -> Any:
+        """Unpack ``raw`` (exactly :attr:`size` bytes) to a named tuple."""
+        if len(raw) != self.size:
+            raise ConfigError(
+                f"{self.name}.unpack needs {self.size} bytes, got {len(raw)}"
+            )
+        return self._tuple_type(*struct.unpack(self._fmt, raw))
+
+    def unpack_from(self, raw: bytes | bytearray | memoryview, offset: int = 0) -> Any:
+        """Unpack a record embedded at ``offset`` of a larger buffer."""
+        return self._tuple_type(*struct.unpack_from(self._fmt, raw, offset))
+
+    # -- single-field ---------------------------------------------------------
+    def spec(self, field: str) -> FieldSpec:
+        for fs in self.fields:
+            if fs.name == field:
+                return fs
+        raise ConfigError(f"layout {self.name} has no field {field!r}")
+
+    def offset_of(self, field: str) -> int:
+        return self.spec(field).offset
+
+    def size_of(self, field: str) -> int:
+        return self.spec(field).size
+
+    def pack_field(self, field: str, value: Any) -> bytes:
+        """Bytes for a single field — write at ``addr + offset_of(field)``."""
+        fs = self.spec(field)
+        return struct.pack("<" + fs.code, value)
+
+    def unpack_field(self, field: str, raw: bytes, record_offset: int = 0) -> Any:
+        """Extract one field from a buffer holding a record at
+        ``record_offset``."""
+        fs = self.spec(field)
+        (value,) = struct.unpack_from("<" + fs.code, raw, record_offset + fs.offset)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StructLayout {self.name} size={self.size} fields={self._names}>"

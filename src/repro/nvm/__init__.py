@@ -1,0 +1,5 @@
+"""Non-volatile main-memory device model."""
+
+from repro.nvm.device import NVMDevice, NVMTiming
+
+__all__ = ["NVMDevice", "NVMTiming"]

@@ -1,0 +1,160 @@
+"""Non-volatile main-memory device: state + timing.
+
+:class:`NVMDevice` binds a :class:`~repro.mem.buffer.PersistentBuffer`
+(state, crash semantics) to an :class:`NVMTiming` cost model and a
+simulation environment, and exposes *timed* operations as generators to
+``yield from`` inside simulated processes:
+
+* :meth:`copy_in` — CPU memcpy into NVM (the RPC server's staging copy);
+* :meth:`persist` — CLWB over a range + SFENCE drain;
+* :meth:`store`  — small CPU store (metadata field update).
+
+Instant (zero-time) state access is available through :attr:`buffer`
+and the convenience :meth:`read` / :meth:`write` passthroughs — those
+model reads/writes whose *timing* is charged elsewhere (e.g. inbound
+RDMA DMA, whose time lives in the fabric model).
+
+Default constants approximate Optane DC PMM behind a DDR bus and are
+recorded (with their calibration rationale) in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mem.buffer import CACHELINE, PersistentBuffer
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["NVMTiming", "NVMDevice"]
+
+
+@dataclass(frozen=True)
+class NVMTiming:
+    """Latency model for NVM operations (nanoseconds).
+
+    Attributes
+    ----------
+    store_ns:
+        Fixed cost of a small CPU store + pipeline effects.
+    copy_ns_per_byte:
+        Marginal memcpy cost into NVM (single-thread NVM write bandwidth ~1.1 GB/s).
+    read_ns_per_byte:
+        Marginal media read cost (used for recovery scans).
+    read_base_ns:
+        Base media-read latency for a random read.
+    flush_line_ns:
+        Cost of issuing one CLWB.
+    fence_ns:
+        SFENCE drain: waiting for queued write-backs to reach the media
+        power-fail domain.
+    """
+
+    store_ns: float = 15.0
+    copy_ns_per_byte: float = 0.9
+    read_ns_per_byte: float = 0.15
+    read_base_ns: float = 170.0
+    flush_line_ns: float = 20.0
+    fence_ns: float = 150.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "store_ns",
+            "copy_ns_per_byte",
+            "read_ns_per_byte",
+            "read_base_ns",
+            "flush_line_ns",
+            "fence_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"NVMTiming.{name} must be >= 0")
+
+    # -- cost functions ------------------------------------------------------
+    def copy_cost(self, nbytes: int) -> float:
+        return self.store_ns + self.copy_ns_per_byte * nbytes
+
+    def read_cost(self, nbytes: int) -> float:
+        return self.read_base_ns + self.read_ns_per_byte * nbytes
+
+    def flush_cost(self, nbytes: int) -> float:
+        """Issue CLWBs over the whole range and drain with one fence."""
+        lines = (nbytes + CACHELINE - 1) // CACHELINE
+        return self.flush_line_ns * lines + self.fence_ns
+
+
+class NVMDevice:
+    """A simulated NVMM DIMM-set (see module docstring)."""
+
+    __slots__ = ("env", "name", "timing", "buffer")
+
+    def __init__(
+        self,
+        env: Environment,
+        size: int,
+        timing: NVMTiming | None = None,
+        name: str = "nvm0",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.timing = timing or NVMTiming()
+        self.buffer = PersistentBuffer(size)
+
+    @property
+    def size(self) -> int:
+        return self.buffer.size
+
+    # -- instant state access (timing charged by the caller) -----------------
+    def read(self, addr: int, length: int) -> bytes:
+        return self.buffer.read(addr, length)
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        self.buffer.write(addr, data)
+
+    def write_atomic64(self, addr: int, data: bytes) -> None:
+        self.buffer.write_atomic64(addr, data)
+
+    def is_persistent(self, addr: int, length: int) -> bool:
+        return self.buffer.is_persistent(addr, length)
+
+    # -- timed operations -----------------------------------------------------
+    def store(
+        self, addr: int, data: bytes, *, atomic: bool = False
+    ) -> Generator[Event, None, None]:
+        """Timed small CPU store (metadata updates)."""
+        yield self.env.timeout(self.timing.store_ns)
+        if atomic:
+            self.buffer.write_atomic64(addr, data)
+        else:
+            self.buffer.write(addr, data)
+
+    def copy_in(self, addr: int, data: bytes) -> Generator[Event, None, None]:
+        """Timed CPU memcpy of ``data`` into NVM at ``addr``."""
+        yield self.env.timeout(self.timing.copy_cost(len(data)))
+        self.buffer.write(addr, data)
+
+    def load(self, addr: int, length: int) -> Generator[Event, None, bytes]:
+        """Timed CPU read from NVM (recovery scans)."""
+        yield self.env.timeout(self.timing.read_cost(length))
+        return self.buffer.read(addr, length)
+
+    def persist(self, addr: int, length: int) -> Generator[Event, None, int]:
+        """Timed CLWB sweep + SFENCE; returns lines actually written back.
+
+        The time charged covers issuing CLWB over the *whole* range
+        (real code cannot skip clean lines it does not know about) plus
+        one fence; the state transition only copies dirty lines.
+        """
+        yield self.env.timeout(self.timing.flush_cost(length))
+        return self.buffer.flush(addr, length)
+
+    # -- crash -----------------------------------------------------------------
+    def crash(self, rng: np.random.Generator, evict_probability: float = 0.5) -> dict:
+        """Power-fail the device (state only; orchestration is in
+        :mod:`repro.harness.crash`)."""
+        return self.buffer.crash(rng, evict_probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NVMDevice {self.name} size={self.size}>"

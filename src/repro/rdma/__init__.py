@@ -1,0 +1,29 @@
+"""RDMA fabric model: verbs, memory registration, nodes, and RPC."""
+
+from repro.rdma.cq import CompletionQueue, post_read, post_write
+from repro.rdma.fabric import Fabric, InflightWrite, Node
+from repro.rdma.latency import FabricTiming
+from repro.rdma.mr import MemoryRegion, ProtectionDomain
+from repro.rdma.qp import Endpoint
+from repro.rdma.rpc import RpcClient, RpcFault, RpcServer, rpc_error
+from repro.rdma.verbs import Message, Opcode, WorkCompletion
+
+__all__ = [
+    "CompletionQueue",
+    "Endpoint",
+    "Fabric",
+    "FabricTiming",
+    "InflightWrite",
+    "MemoryRegion",
+    "Message",
+    "Node",
+    "Opcode",
+    "ProtectionDomain",
+    "RpcClient",
+    "RpcFault",
+    "RpcServer",
+    "WorkCompletion",
+    "post_read",
+    "post_write",
+    "rpc_error",
+]

@@ -1,0 +1,132 @@
+"""Fabric latency/bandwidth model.
+
+All constants are nanoseconds (or ns/byte) of simulated time and are
+calibrated so that the micro-measurements the paper itself reports hold
+on our substrate (DESIGN.md §6):
+
+* a small one-sided verb completes in ~1.6–1.9 µs (ConnectX-5 class
+  round trip through one switch);
+* a SEND-based RPC round trip costs ~2.7 µs plus server handler time —
+  two-sided traffic pays receive-completion and dispatch overheads that
+  one-sided traffic avoids, which is the entire premise of the
+  client-active scheme (§3 of the paper);
+* the wire moves 4 KiB in ~0.33 µs (100 Gb/s).
+
+The model deliberately exposes *where* each cost is charged: NIC TX
+engine occupancy (serialization — this is what bounds bandwidth),
+propagation (pure delay — pipelined), target-side DMA, and two-sided
+receive dispatch (CPU-adjacent — this is what makes RPC-bound schemes
+saturate in Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["FabricTiming"]
+
+
+@dataclass(frozen=True)
+class FabricTiming:
+    """Timing constants for the RDMA fabric.
+
+    Attributes
+    ----------
+    propagation_ns:
+        One-way wire + switch delay.
+    wire_ns_per_byte:
+        Serialization cost per payload byte (100 Gb/s ≈ 0.08 ns/B).
+    nic_tx_ns:
+        Per-work-request initiator NIC processing latency.
+    nic_tx_occupancy_ns:
+        How long one WR actually *occupies* the TX engine (less than its
+        latency — NICs pipeline WR processing). Together with payload
+        serialization this bounds per-NIC message rate and bandwidth.
+    nic_rx_ns:
+        Target NIC processing for an inbound packet.
+    dma_ns:
+        Target-side PCIe DMA setup for one-sided ops (DDIO places the
+        payload in LLC — *not* the NVM power-fail domain).
+    two_sided_rx_ns:
+        Extra target-side cost for SEND/WRITE_WITH_IMM delivery: recv
+        WQE consumption, CQE generation, and the polling thread picking
+        the message up.
+    atomic_extra_ns:
+        Additional target-NIC cost of an 8-byte ATOMIC (CAS/FAA) —
+        read-modify-write through the PCIe root complex.
+    min_wire_bytes:
+        Every message occupies the wire for at least this many bytes
+        (headers: GRH/BTH etc.).
+    """
+
+    propagation_ns: float = 750.0
+    wire_ns_per_byte: float = 0.08
+    nic_tx_ns: float = 150.0
+    nic_tx_occupancy_ns: float = 25.0
+    nic_rx_ns: float = 100.0
+    dma_ns: float = 100.0
+    two_sided_rx_ns: float = 600.0
+    atomic_extra_ns: float = 250.0
+    two_sided_rx_ns_per_byte: float = 0.15
+    min_wire_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "propagation_ns",
+            "wire_ns_per_byte",
+            "nic_tx_ns",
+            "nic_tx_occupancy_ns",
+            "nic_rx_ns",
+            "dma_ns",
+            "two_sided_rx_ns",
+            "atomic_extra_ns",
+            "two_sided_rx_ns_per_byte",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"FabricTiming.{name} must be >= 0")
+        if self.min_wire_bytes < 0:
+            raise ConfigError("FabricTiming.min_wire_bytes must be >= 0")
+
+    # -- derived costs ---------------------------------------------------
+    def two_sided_rx_cost(self, nbytes: int) -> float:
+        """Receive-side processing of a two-sided message of ``nbytes``."""
+        return self.two_sided_rx_ns + self.two_sided_rx_ns_per_byte * nbytes
+
+    def serialize_ns(self, nbytes: int) -> float:
+        """TX-engine occupancy for a payload of ``nbytes``."""
+        return self.wire_ns_per_byte * max(nbytes, self.min_wire_bytes)
+
+    def one_way_ns(self, nbytes: int) -> float:
+        """Pipelined one-way transfer delay excluding engine occupancy."""
+        return self.propagation_ns + self.serialize_ns(nbytes)
+
+    def one_sided_rtt_ns(self, nbytes: int) -> float:
+        """Rule-of-thumb completion latency of an uncontended one-sided
+        op carrying ``nbytes`` of payload in one direction (used by
+        tests/docs; the fabric composes the pieces itself)."""
+        return (
+            self.nic_tx_ns
+            + self.one_way_ns(nbytes)
+            + self.dma_ns
+            + self.propagation_ns
+            + self.nic_rx_ns
+        )
+
+    def scaled(self, factor: float) -> "FabricTiming":
+        """A uniformly slower/faster fabric (sensitivity studies)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return replace(
+            self,
+            propagation_ns=self.propagation_ns * factor,
+            wire_ns_per_byte=self.wire_ns_per_byte * factor,
+            nic_tx_ns=self.nic_tx_ns * factor,
+            nic_tx_occupancy_ns=self.nic_tx_occupancy_ns * factor,
+            nic_rx_ns=self.nic_rx_ns * factor,
+            dma_ns=self.dma_ns * factor,
+            two_sided_rx_ns=self.two_sided_rx_ns * factor,
+            atomic_extra_ns=self.atomic_extra_ns * factor,
+            two_sided_rx_ns_per_byte=self.two_sided_rx_ns_per_byte * factor,
+        )

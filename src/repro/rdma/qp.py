@@ -1,0 +1,251 @@
+"""Queue-pair endpoints: the verb API used by clients and servers.
+
+An :class:`Endpoint` is one side of a reliable connection. Its verb
+methods are generators designed for ``yield from`` composition inside
+simulated processes::
+
+    data = yield from ep.read(rkey, offset, 4096)
+    yield from ep.write(rkey, offset, payload)
+    rid  = yield from ep.send({"op": "put"}, wire_bytes=64)
+    msg  = yield from ep.recv_response(rid)
+
+Timing composition per verb (see :mod:`repro.rdma.latency`):
+
+* ``write``  — TX engine (nic_tx + serialize) → wire (propagation) →
+  target DMA (into DDIO/LLC, i.e. *volatile*) → ACK (propagation +
+  nic_rx). The payload is tracked in-flight for crash tearing.
+* ``read``   — request out → target NIC DMA-reads memory → response
+  occupies the *target's* TX engine for the payload → back.
+* ``send``   — TX engine → wire → target NIC recv processing
+  (``two_sided_rx_ns``) → delivered to the target node's SRQ.
+* ``write_with_imm`` — ``write`` whose arrival also consumes a recv WQE
+  and delivers an imm-tagged message (the server notices immediately —
+  the property IMM-style durability relies on).
+* ``cas``/``faa`` — 8-byte target-NIC read-modify-write.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional
+
+from repro.errors import QPError
+from repro.rdma.fabric import Fabric, Node
+from repro.rdma.verbs import Message, Opcode, WorkCompletion, next_wr_id
+from repro.sim.kernel import Event
+
+__all__ = ["Endpoint"]
+
+
+def _tx_engine(fabric, node, nbytes: int) -> Generator[Event, Any, None]:
+    t = fabric.timing
+    env = node.env
+    req = yield from node.tx.acquire()
+    try:
+        yield env.timeout(
+            t.nic_tx_occupancy_ns + t.serialize_ns(nbytes) + fabric.jitter()
+        )
+    finally:
+        node.tx.release(req)
+    pipelined = t.nic_tx_ns - t.nic_tx_occupancy_ns
+    if pipelined > 0:
+        yield env.timeout(pipelined)
+
+
+class Endpoint:
+    """One side of a reliable connection (see module docstring)."""
+
+    __slots__ = ("fabric", "local", "remote", "peer", "stats")
+
+    def __init__(self, fabric: Fabric, local: Node, remote: Node) -> None:
+        self.fabric = fabric
+        self.local = local
+        self.remote = remote
+        #: The opposite endpoint (set by Fabric.connect).
+        self.peer: Optional["Endpoint"] = None
+        #: Per-opcode counters.
+        self.stats: dict[str, int] = {}
+
+    # -- internals ---------------------------------------------------------
+    def _count(self, opcode: Opcode) -> None:
+        self.stats[opcode.value] = self.stats.get(opcode.value, 0) + 1
+
+    def _tx(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Pass one WR through the local TX engine.
+
+        The engine is *occupied* for ``nic_tx_occupancy_ns`` plus the
+        payload serialization (this bounds message rate and bandwidth);
+        the remaining per-WR processing latency is pipelined and charged
+        without holding the engine.
+        """
+        yield from _tx_engine(self.fabric, self.local, nbytes)
+
+    def _remote_tx(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Pass a response WR through the remote TX engine."""
+        yield from _tx_engine(self.fabric, self.remote, nbytes)
+
+    # -- one-sided verbs ------------------------------------------------------
+    def write(
+        self, rkey: int, offset: int, data: bytes | bytearray | memoryview
+    ) -> Generator[Event, Any, WorkCompletion]:
+        """One-sided RDMA WRITE; completes when the ACK returns.
+
+        On completion the payload is *visible* at the target but NOT
+        durable (DDIO lands it in the LLC) — the central hazard of §3.
+        """
+        env = self.local.env
+        t = self.fabric.timing
+        self.fabric.check_target(self.remote)
+        mr = self.remote.pd.lookup(rkey)
+        data = bytes(data)
+        addr = mr.check(offset, len(data), write=True)
+        wr_id = next_wr_id()
+        self._count(Opcode.WRITE)
+
+        yield from self._tx(len(data))
+        apply_at = env.now + t.propagation_ns + t.dma_ns
+        fl = self.fabric.register_inflight(self.remote, addr, data, apply_at)
+        yield env.timeout(t.propagation_ns + t.dma_ns)
+        if not self.fabric.apply_inflight(fl):
+            raise QPError(f"WRITE to {self.remote.name} flushed (target down)")
+        yield env.timeout(t.propagation_ns + t.nic_rx_ns)
+        return WorkCompletion(wr_id, Opcode.WRITE, completed_at=env.now)
+
+    def read(
+        self, rkey: int, offset: int, length: int
+    ) -> Generator[Event, Any, bytes]:
+        """One-sided RDMA READ; returns the bytes (visible image)."""
+        env = self.local.env
+        t = self.fabric.timing
+        self.fabric.check_target(self.remote)
+        mr = self.remote.pd.lookup(rkey)
+        addr = mr.check(offset, length, write=False)
+        self._count(Opcode.READ)
+
+        yield from self._tx(0)  # request header only
+        yield env.timeout(t.propagation_ns + t.dma_ns)
+        self.fabric.check_target(self.remote)
+        # Target NIC snapshots memory now, then streams the response.
+        data = mr.device.read(addr, length)
+        yield from self._remote_tx(length)
+        yield env.timeout(t.propagation_ns + t.nic_rx_ns)
+        return data
+
+    def cas(
+        self, rkey: int, offset: int, expected: bytes, desired: bytes
+    ) -> Generator[Event, Any, bytes]:
+        """8-byte compare-and-swap at the target; returns the old value."""
+        if len(expected) != 8 or len(desired) != 8:
+            raise QPError("CAS operands must be 8 bytes")
+        env = self.local.env
+        t = self.fabric.timing
+        self.fabric.check_target(self.remote)
+        mr = self.remote.pd.lookup(rkey)
+        addr = mr.check(offset, 8, write=True)
+        self._count(Opcode.CAS)
+
+        yield from self._tx(16)
+        yield env.timeout(t.propagation_ns + t.dma_ns + t.atomic_extra_ns)
+        self.fabric.check_target(self.remote)
+        old = mr.device.read(addr, 8)
+        if old == expected:
+            mr.device.write_atomic64(addr, desired)
+        yield env.timeout(t.propagation_ns + t.nic_rx_ns)
+        return old
+
+    def faa(
+        self, rkey: int, offset: int, delta: int
+    ) -> Generator[Event, Any, int]:
+        """8-byte fetch-and-add; returns the prior value."""
+        env = self.local.env
+        t = self.fabric.timing
+        self.fabric.check_target(self.remote)
+        mr = self.remote.pd.lookup(rkey)
+        addr = mr.check(offset, 8, write=True)
+        self._count(Opcode.FAA)
+
+        yield from self._tx(16)
+        yield env.timeout(t.propagation_ns + t.dma_ns + t.atomic_extra_ns)
+        self.fabric.check_target(self.remote)
+        old = int.from_bytes(mr.device.read(addr, 8), "little")
+        new = (old + delta) & 0xFFFFFFFFFFFFFFFF
+        mr.device.write_atomic64(addr, new.to_bytes(8, "little"))
+        yield env.timeout(t.propagation_ns + t.nic_rx_ns)
+        return old
+
+    # -- two-sided verbs ----------------------------------------------------------
+    def send(
+        self,
+        payload: Any,
+        wire_bytes: int,
+        *,
+        imm: Optional[int] = None,
+        in_reply_to: Optional[int] = None,
+    ) -> Generator[Event, Any, int]:
+        """SEND a message; returns its req_id once delivered to the
+        target's receive queue."""
+        env = self.local.env
+        t = self.fabric.timing
+        self.fabric.check_target(self.remote)
+        self._count(Opcode.SEND)
+
+        yield from self._tx(wire_bytes)
+        yield env.timeout(t.propagation_ns + t.nic_rx_ns + t.two_sided_rx_cost(wire_bytes))
+        self.fabric.check_target(self.remote)
+        msg = Message(
+            Opcode.SEND,
+            payload,
+            wire_bytes,
+            imm=imm,
+            reply_to=self.peer,
+            in_reply_to=in_reply_to,
+            arrived_at=env.now,
+        )
+        self.remote.srq.put(msg)
+        return msg.req_id
+
+    def write_with_imm(
+        self,
+        rkey: int,
+        offset: int,
+        data: bytes | bytearray | memoryview,
+        imm: int,
+        payload: Any = None,
+    ) -> Generator[Event, Any, WorkCompletion]:
+        """RDMA WRITE_WITH_IMM: data lands like a WRITE *and* the target
+        application is notified immediately with ``imm``."""
+        env = self.local.env
+        t = self.fabric.timing
+        self.fabric.check_target(self.remote)
+        mr = self.remote.pd.lookup(rkey)
+        data = bytes(data)
+        addr = mr.check(offset, len(data), write=True)
+        wr_id = next_wr_id()
+        self._count(Opcode.WRITE_WITH_IMM)
+
+        yield from self._tx(len(data))
+        apply_at = env.now + t.propagation_ns + t.dma_ns
+        fl = self.fabric.register_inflight(self.remote, addr, data, apply_at)
+        yield env.timeout(t.propagation_ns + t.dma_ns + t.two_sided_rx_ns)  # imm notification only; data went one-sided
+        if not self.fabric.apply_inflight(fl):
+            raise QPError(f"WRITE_WITH_IMM to {self.remote.name} flushed")
+        msg = Message(
+            Opcode.WRITE_WITH_IMM,
+            payload,
+            len(data),
+            imm=imm,
+            reply_to=self.peer,
+            arrived_at=env.now,
+        )
+        self.remote.srq.put(msg)
+        yield env.timeout(t.propagation_ns + t.nic_rx_ns)
+        return WorkCompletion(wr_id, Opcode.WRITE_WITH_IMM, completed_at=env.now)
+
+    # -- receive helpers --------------------------------------------------------
+    def recv_response(self, req_id: int) -> Generator[Event, Any, Message]:
+        """Wait for the response to a request this endpoint sent."""
+        msg = yield self.local.srq.get(lambda m: m.in_reply_to == req_id)
+        return msg
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Endpoint {self.local.name}->{self.remote.name}>"

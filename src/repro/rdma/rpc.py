@@ -1,0 +1,173 @@
+"""SEND-based RPC on top of the verb layer.
+
+The paper's "SEND-based RPC" (§5.3.1): the client SENDs a request, the
+server's polling thread dispatches it to a handler, and the handler
+SENDs a response. :class:`RpcClient` packages the request/response
+matching; :class:`RpcServer` provides the dispatch loop used by every
+store server in this library (handlers contend for the node's CPU
+resource, which is what saturates RPC-bound designs in Fig 10).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+from repro.errors import QPError, StoreError
+from repro.rdma.qp import Endpoint
+from repro.rdma.verbs import Message
+from repro.sim.kernel import Environment, Event, Interrupt, Process
+
+__all__ = ["RpcClient", "RpcServer", "rpc_error", "RpcFault"]
+
+
+class RpcFault(StoreError):
+    """A handler returned an error response; carries the error payload."""
+
+
+def rpc_error(message: str, **extra: Any) -> dict:
+    """Build an error response payload."""
+    return {"error": message, **extra}
+
+
+class RpcClient:
+    """Client side of SEND-based RPC over one endpoint."""
+
+    __slots__ = ("ep",)
+
+    def __init__(self, ep: Endpoint) -> None:
+        self.ep = ep
+
+    def call(
+        self, payload: dict, request_bytes: int
+    ) -> Generator[Event, Any, Any]:
+        """Issue a request and wait for the matching response payload.
+
+        Raises :class:`RpcFault` if the handler responded with an error.
+        """
+        rid = yield from self.ep.send(payload, request_bytes)
+        msg = yield from self.ep.recv_response(rid)
+        resp = msg.payload
+        if isinstance(resp, dict) and "error" in resp:
+            raise RpcFault(resp["error"])
+        return resp
+
+
+#: Handler signature: (message) -> generator returning
+#: (response_payload, response_bytes).
+Handler = Callable[[Message], Generator[Event, Any, tuple[Any, int]]]
+
+
+class RpcServer:
+    """Polling dispatch loop for a server node.
+
+    Parameters
+    ----------
+    env, node:
+        The simulation environment and the node whose SRQ is polled.
+    dispatch_ns:
+        CPU time to poll the CQ and demultiplex one message (the paper's
+        eFactory reduces this with multiple receive regions — see
+        ``recv_batching`` in the store configs).
+    concurrent_handlers:
+        Max handlers in flight (each still holds the node CPU while
+        computing). 1 models a single request-processing thread.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Any,
+        dispatch_ns: float = 200.0,
+        concurrent_handlers: int = 1,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.dispatch_ns = dispatch_ns
+        self.concurrent_handlers = concurrent_handlers
+        self._handlers: dict[str, Handler] = {}
+        self._default_handler: Optional[Handler] = None
+        self._proc: Optional[Process] = None
+        self._handler_procs: set[Process] = set()
+        self.requests_served = 0
+
+    def register(self, op: str, handler: Handler) -> None:
+        self._handlers[op] = handler
+
+    def register_default(self, handler: Handler) -> None:
+        """Handler for messages whose payload has no registered ``op``
+        (e.g. WRITE_WITH_IMM notifications)."""
+        self._default_handler = handler
+
+    def start(self) -> Process:
+        if self._proc is not None and self._proc.is_alive:
+            raise StoreError("RpcServer already running")
+        self._proc = self.env.process(self._loop(), name=f"rpc:{self.node.name}")
+        return self._proc
+
+    def stop(self) -> None:
+        """Halt dispatch *and* every in-flight handler.
+
+        Interrupting live handlers matters for crash fidelity: a handler
+        that was mid-flush when the power failed must not keep mutating
+        NVM state after the crash (it would publish torn data with a
+        trusted durability flag).
+        """
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        for proc in list(self._handler_procs):
+            if proc.is_alive:
+                proc.interrupt("stop")
+        self._handler_procs.clear()
+
+    # -- internals ------------------------------------------------------------
+    def _loop(self) -> Generator[Event, Any, None]:
+        try:
+            while True:
+                msg: Message = yield self.node.srq.get()
+                handler = self._pick(msg)
+                if handler is None:
+                    continue  # drop unroutable messages
+                if self.concurrent_handlers == 1:
+                    yield from self._run_handler(handler, msg)
+                else:
+                    proc = self.env.process(
+                        self._run_handler(handler, msg),
+                        name=f"rpc-h:{self.node.name}",
+                    )
+                    self._handler_procs.add(proc)
+                    if len(self._handler_procs) > 64:
+                        self._handler_procs = {
+                            p for p in self._handler_procs if p.is_alive
+                        }
+        except Interrupt:
+            return
+
+    def _pick(self, msg: Message) -> Optional[Handler]:
+        if isinstance(msg.payload, dict):
+            op = msg.payload.get("op")
+            if op in self._handlers:
+                return self._handlers[op]
+        return self._default_handler
+
+    def _run_handler(
+        self, handler: Handler, msg: Message
+    ) -> Generator[Event, Any, None]:
+        req = yield from self.node.cpu.acquire()
+        try:
+            yield self.env.timeout(self.dispatch_ns)
+            result = yield from handler(msg)
+        finally:
+            self.node.cpu.release(req)
+        self.requests_served += 1
+        if result is None:
+            return  # notification-style message; no response
+        response, response_bytes = result
+        if msg.reply_to is None:
+            raise StoreError("handler produced a response but message has no reply_to")
+        try:
+            yield from msg.reply_to.send(
+                response, response_bytes, in_reply_to=msg.req_id
+            )
+        except QPError:
+            pass  # client died; drop the response

@@ -1,0 +1,578 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, deterministic event-driven kernel in the style of
+SimPy: simulated *processes* are Python generators that ``yield`` events;
+the :class:`Environment` owns a priority queue of scheduled events and
+advances virtual time from one event to the next.
+
+Design notes
+------------
+* Two-phase event lifecycle: an event is first *triggered*
+  (:meth:`Event.succeed` / :meth:`Event.fail`), which schedules it on the
+  environment queue; it is *processed* when popped, at which point its
+  callbacks run. This matches SimPy semantics and guarantees that all
+  state mutations made by the triggering process are visible before any
+  waiter resumes.
+* Deterministic ordering: the queue is keyed by
+  ``(time, priority, sequence)``. Two events scheduled for the same time
+  and priority always process in schedule order, so simulations are
+  exactly reproducible.
+* Virtual time is a ``float`` in **nanoseconds** by convention throughout
+  the library (see :mod:`repro.rdma.latency`), although the kernel itself
+  is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "PENDING",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "StopSimulation",
+    "Environment",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class _Pending:
+    """Unique sentinel marking an event that has not been triggered."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+#: Sentinel value stored in :attr:`Event._value` while untriggered.
+PENDING = _Pending()
+
+#: Queue priorities: urgent events (process resumptions) run before
+#: normal ones at the same timestamp; low runs last.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at its ``until``
+    event; carries the event's value."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries
+    the object passed to :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """An occurrence at a point in simulated time that processes can wait on.
+
+    Events carry a *value* (delivered to waiting processes) or an
+    *exception* (raised inside waiting processes). They trigger at most
+    once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "on_abandon")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event when it is processed. ``None``
+        #: once processed (used as the "already processed" flag).
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+        #: Invoked when the last waiter detaches before the event
+        #: triggered (e.g. the waiting process was interrupted). Wait
+        #: queues use this to cancel the abandoned reservation so items
+        #: and grants are never delivered to dead processes.
+        self.on_abandon: Optional[Callable[[], None]] = None
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, *, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` (processed at the
+        current simulation time)."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, *, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so the kernel will not escalate
+        its exception to :meth:`Environment.step`."""
+        self._defused = True
+
+    # -- composition -------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` time units after
+    creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class _InterruptEvent(Event):
+    """Internal: carries an interrupt's cause to the target process."""
+
+    __slots__ = ("cause",)
+
+    def __init__(self, env: "Environment", cause: Any) -> None:
+        super().__init__(env)
+        self.cause = cause
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop.
+
+    The process itself is an :class:`Event` that triggers when the
+    generator returns (value = the generator's return value) or raises
+    (the process fails with that exception).
+    """
+
+    __slots__ = ("_generator", "_target", "_started", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() requires a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when the
+        #: process is active, finished, or not yet started).
+        self._target: Optional[Event] = None
+        #: False until the first resumption runs.
+        self._started = False
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is about to resume is allowed and the interrupt
+        wins (delivered first).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._target is None and self._started:
+            raise SimulationError(
+                f"cannot interrupt {self!r} from within itself"
+            )
+        # A not-yet-started process may be interrupted: the interrupt
+        # event is scheduled after the pending Initialize (same time,
+        # both urgent, FIFO), so it lands right after the first yield.
+        interrupt_ev = _InterruptEvent(self.env, cause)
+        interrupt_ev.callbacks.append(self._resume_interrupt)
+        interrupt_ev._ok = True
+        interrupt_ev._value = None
+        self.env.schedule(interrupt_ev, priority=PRIORITY_URGENT)
+
+    # -- kernel plumbing ---------------------------------------------------
+    def _unsubscribe(self) -> None:
+        """Detach from the event we were waiting on (after an interrupt)."""
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if not target.callbacks and target.on_abandon is not None:
+                target.on_abandon()
+        self._target = None
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # finished in the meantime; drop silently
+            return
+        self._unsubscribe()
+        assert isinstance(event, _InterruptEvent)
+        self._step(Interrupt(event.cause), throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._started = True
+        self._target = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            event._defused = True
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, *, throw: bool) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            env.schedule(self, priority=PRIORITY_URGENT)
+            return
+        except Interrupt as exc:
+            # The generator re-raised (or did not catch) an interrupt:
+            # treat like any other failure.
+            env._active_process = None
+            self._ok = False
+            self._value = exc
+            self._defused = True
+            env.schedule(self, priority=PRIORITY_URGENT)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._ok = False
+            self._value = exc
+            env.schedule(self, priority=PRIORITY_URGENT)
+            return
+        env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"{self.name} yielded a non-event: {target!r}"
+            )
+        if target.env is not env:
+            raise SimulationError(
+                f"{self.name} yielded an event from a different environment"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately (at the current time,
+            # urgent priority) with its recorded outcome.
+            resume = Event(env)
+            resume.callbacks.append(self._resume)
+            resume._ok = target._ok
+            resume._value = target._value
+            if not target._ok:
+                target._defused = True
+            env.schedule(resume, priority=PRIORITY_URGENT)
+            self._target = resume
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+class ConditionValue:
+    """Ordered mapping of the events that triggered inside a condition."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> list[Any]:
+        return [ev._value for ev in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ConditionValue {self.values()!r}>"
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._done: list[Event] = []
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition spans multiple environments")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        # (an empty-events condition already succeeded above)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done.append(event)
+        if self._satisfied():
+            self.succeed(ConditionValue(list(self._done)))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has succeeded; fails fast on
+    the first failure."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return len(self._done) == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event succeeds."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return len(self._done) >= 1
+
+
+class Environment:
+    """Owns the event queue and the current simulation time.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now`.
+    """
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "trace_hook")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: Optional callable ``(time, event)`` invoked as each event is
+        #: processed; used by :mod:`repro.sim.trace`.
+        self.trace_hook: Optional[Callable[[float, Event], None]] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Place a triggered event on the queue ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay!r})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("step(): empty schedule") from None
+        self._now = when
+        if self.trace_hook is not None:
+            self.trace_hook(when, event)
+        callbacks = event.callbacks
+        event.callbacks = None  # marks processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: escalate to the driver of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until it is processed and return its
+          value (raising if it failed).
+        """
+        if until is None:
+            stop_at = float("inf")
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                if not until._ok:
+                    raise until._value
+                return until._value
+            until.callbacks.append(self._stop_on)
+            stop_at = float("inf")
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at!r} is in the past (now={self._now!r})"
+                )
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if isinstance(until, Event):
+            raise SimulationError(
+                "run() ran out of events before its target event triggered"
+            )
+        if until is not None:
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if not event._ok:
+            event._defused = True
+            raise event._value
+        raise StopSimulation(event._value)

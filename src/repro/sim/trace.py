@@ -1,0 +1,90 @@
+"""Lightweight event tracing for debugging simulations.
+
+Attach a :class:`Tracer` to an :class:`~repro.sim.kernel.Environment` to
+record (time, event-repr) tuples or stream them to a file. Tracing is
+off by default and costs nothing when unused (the kernel checks a single
+attribute).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+class TraceRecord:
+    """One processed event."""
+
+    __slots__ = ("time", "kind", "detail")
+
+    def __init__(self, time: float, kind: str, detail: str) -> None:
+        self.time = time
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceRecord(t={self.time:.1f}, {self.kind}, {self.detail})"
+
+
+class Tracer:
+    """Collects processed-event records from an environment.
+
+    Parameters
+    ----------
+    env:
+        Environment to attach to.
+    limit:
+        Maximum records retained (oldest dropped beyond this) to bound
+        memory in long simulations.
+    stream:
+        Optional text stream to additionally write one line per event.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        limit: int = 100_000,
+        stream: Optional[io.TextIOBase] = None,
+    ) -> None:
+        self.env = env
+        self.limit = limit
+        self.stream = stream
+        self.records: list[TraceRecord] = []
+        self._installed = False
+
+    def install(self) -> "Tracer":
+        self.env.trace_hook = self._hook
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.env.trace_hook = None
+            self._installed = False
+
+    def __enter__(self) -> "Tracer":
+        return self.install()
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()
+
+    def _hook(self, time: float, event: Event) -> None:
+        kind = type(event).__name__
+        detail = getattr(event, "name", "") or ""
+        rec = TraceRecord(time, kind, detail)
+        self.records.append(rec)
+        if len(self.records) > self.limit:
+            del self.records[: len(self.records) // 2]
+        if self.stream is not None:
+            self.stream.write(f"{time:>14.1f} {kind:<12} {detail}\n")
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of processed event kinds."""
+        out: dict[str, int] = {}
+        for rec in self.records:
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out

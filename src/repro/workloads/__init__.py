@@ -1,0 +1,43 @@
+"""Workload generation: key distributions, verifiable values, YCSB mixes."""
+
+from repro.workloads.keyspace import (
+    VALUE_HEADER_SIZE,
+    make_key,
+    make_value,
+    parse_value,
+)
+from repro.workloads.ycsb import (
+    Op,
+    WORKLOADS,
+    WorkloadSpec,
+    update_only,
+    ycsb_a,
+    ycsb_b,
+    ycsb_c,
+    ycsb_f,
+)
+from repro.workloads.zipf import (
+    ScrambledZipfian,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+)
+
+__all__ = [
+    "Op",
+    "ScrambledZipfian",
+    "UniformGenerator",
+    "VALUE_HEADER_SIZE",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "ZipfianGenerator",
+    "make_key",
+    "make_value",
+    "parse_value",
+    "update_only",
+    "ycsb_a",
+    "ycsb_b",
+    "ycsb_c",
+    "ycsb_f",
+    "zeta",
+]

@@ -1,0 +1,68 @@
+"""Keys and verifiable values.
+
+Keys are YCSB-style ``user########`` strings padded to a fixed length.
+Values are *self-describing*: the first 16 bytes encode ``(key_id,
+version)`` and the remainder is a pattern deterministically derived from
+them — so the crash-consistency oracle can tell, from bytes alone,
+exactly which write a value came from and whether it is complete
+(a torn value fails the pattern check). This is how the harness turns
+"the store returned some bytes" into checkable history facts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.sim.rng import fnv1a_64
+
+__all__ = ["make_key", "make_value", "parse_value", "VALUE_HEADER_SIZE"]
+
+#: Bytes of (key_id, version) at the front of every generated value.
+VALUE_HEADER_SIZE = 16
+
+
+def make_key(key_id: int, key_len: int = 16) -> bytes:
+    """Fixed-width key for ``key_id`` (YCSB ``user<padded id>`` style)."""
+    if key_len < 12:
+        raise WorkloadError(f"key_len must be >= 12, got {key_len}")
+    body = f"user{key_id:0{key_len - 4}d}"
+    if len(body) != key_len:
+        raise WorkloadError(f"key_id {key_id} does not fit key_len {key_len}")
+    return body.encode("ascii")
+
+
+def _pattern(key_id: int, version: int, length: int) -> bytes:
+    """Deterministic filler derived from (key_id, version)."""
+    if length <= 0:
+        return b""
+    seed = fnv1a_64(struct.pack("<QQ", key_id, version)).to_bytes(8, "little")
+    reps = length // 8 + 1
+    return (seed * reps)[:length]
+
+
+def make_value(key_id: int, version: int, vlen: int) -> bytes:
+    """A verifiable value of exactly ``vlen`` bytes (min 16)."""
+    if vlen < VALUE_HEADER_SIZE:
+        raise WorkloadError(
+            f"value length must be >= {VALUE_HEADER_SIZE}, got {vlen}"
+        )
+    header = struct.pack("<QQ", key_id, version)
+    return header + _pattern(key_id, version, vlen - VALUE_HEADER_SIZE)
+
+
+def parse_value(value: bytes) -> Optional[tuple[int, int]]:
+    """Recover ``(key_id, version)`` from a value, verifying the pattern.
+
+    Returns ``None`` when the value is torn / not one of ours — the
+    oracle treats that as a consistency violation for stores that
+    promise intact reads.
+    """
+    if len(value) < VALUE_HEADER_SIZE:
+        return None
+    key_id, version = struct.unpack_from("<QQ", value)
+    expected = _pattern(key_id, version, len(value) - VALUE_HEADER_SIZE)
+    if value[VALUE_HEADER_SIZE:] != expected:
+        return None
+    return key_id, version

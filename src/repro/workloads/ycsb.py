@@ -1,0 +1,145 @@
+"""YCSB-style workload specifications (paper §5.2).
+
+Four canned mixes over a long-tailed Zipfian key distribution:
+
+=============  =====  =====  =====
+workload       GET    PUT    RMW
+=============  =====  =====  =====
+YCSB-C          100%    0%     0%
+YCSB-B           95%    5%     0%
+YCSB-A           50%   50%     0%
+YCSB-F           50%    0%    50%
+update-only       0%  100%     0%
+=============  =====  =====  =====
+
+(YCSB-F's read-modify-write is a GET followed by a dependent PUT of the
+same key — two store operations measured as one application op.)
+
+A workload pregenerates each client's operation stream (vectorised) so
+the simulation's hot loop does no distribution sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import ScrambledZipfian, UniformGenerator
+
+__all__ = [
+    "WorkloadSpec",
+    "Op",
+    "ycsb_a",
+    "ycsb_b",
+    "ycsb_c",
+    "ycsb_f",
+    "update_only",
+    "WORKLOADS",
+]
+
+OpKind = Literal["get", "put", "rmw"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation in a client's stream."""
+
+    kind: OpKind
+    key_id: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible multi-client workload."""
+
+    name: str
+    read_fraction: float
+    rmw_fraction: float = 0.0
+    key_count: int = 2048
+    key_len: int = 16
+    value_len: int = 1024
+    distribution: Literal["zipfian", "uniform"] = "zipfian"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError("read_fraction must be in [0,1]")
+        if not 0.0 <= self.rmw_fraction <= 1.0 - self.read_fraction:
+            raise WorkloadError(
+                "rmw_fraction must fit in the remaining op budget"
+            )
+        if self.key_count <= 0:
+            raise WorkloadError("key_count must be >= 1")
+        if self.value_len < 16:
+            raise WorkloadError("value_len must be >= 16 (oracle header)")
+
+    def with_(self, **kw) -> "WorkloadSpec":
+        from dataclasses import replace
+
+        return replace(self, **kw)
+
+    def _sampler(self):
+        if self.distribution == "zipfian":
+            return ScrambledZipfian(self.key_count, self.zipf_theta)
+        return UniformGenerator(self.key_count)
+
+    def client_stream(
+        self, rng: np.random.Generator, n_ops: int
+    ) -> list[Op]:
+        """Pregenerate one client's operation list."""
+        sampler = self._sampler()
+        keys = np.asarray(sampler.sample(rng, n_ops))
+        roll = rng.random(n_ops)
+        kinds = np.where(
+            roll < self.read_fraction,
+            "get",
+            np.where(roll < self.read_fraction + self.rmw_fraction, "rmw", "put"),
+        )
+        return [
+            Op(kind, int(k)) for kind, k in zip(kinds.tolist(), keys.tolist())
+        ]
+
+    def hot_keys(self, top: int = 10) -> list[int]:
+        """The most popular key ids (diagnostics)."""
+        sampler = self._sampler()
+        if isinstance(sampler, UniformGenerator):
+            return list(range(min(top, self.key_count)))
+        return [int(k) for k in sampler._map[:top]]
+
+
+def ycsb_c(**kw) -> WorkloadSpec:
+    """Read-only (100% GET)."""
+    return WorkloadSpec(name="YCSB-C", read_fraction=1.0, **kw)
+
+
+def ycsb_b(**kw) -> WorkloadSpec:
+    """Read-intensive (95% GET / 5% PUT)."""
+    return WorkloadSpec(name="YCSB-B", read_fraction=0.95, **kw)
+
+
+def ycsb_a(**kw) -> WorkloadSpec:
+    """Write-intensive (50% GET / 50% PUT)."""
+    return WorkloadSpec(name="YCSB-A", read_fraction=0.5, **kw)
+
+
+def ycsb_f(**kw) -> WorkloadSpec:
+    """Read-modify-write (50% GET / 50% RMW)."""
+    return WorkloadSpec(name="YCSB-F", read_fraction=0.5, rmw_fraction=0.5, **kw)
+
+
+def update_only(**kw) -> WorkloadSpec:
+    """Update-only (100% PUT)."""
+    return WorkloadSpec(name="update-only", read_fraction=0.0, **kw)
+
+
+#: The paper's four workloads in Figure 9 order (a..d).
+WORKLOADS = {
+    "YCSB-C": ycsb_c,
+    "YCSB-B": ycsb_b,
+    "YCSB-A": ycsb_a,
+    "YCSB-F": ycsb_f,
+    "update-only": update_only,
+}

@@ -1,0 +1,100 @@
+"""Key-popularity distributions (YCSB's long-tailed Zipfian, §5.2).
+
+Implements the Gray et al. "Quickly generating billion-record synthetic
+databases" Zipfian sampler used by YCSB, including the *scrambled*
+variant that hashes ranks across the key space so popular keys are not
+clustered. Both scalar and vectorised (NumPy) sampling are provided —
+the harness pregenerates whole op streams with the vectorised path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["zeta", "ZipfianGenerator", "ScrambledZipfian", "UniformGenerator"]
+
+
+def zeta(n: int, theta: float) -> float:
+    """Generalised harmonic number ``sum_{i=1..n} 1/i^theta`` (vectorised)."""
+    if n <= 0:
+        raise WorkloadError(f"zeta needs n >= 1, got {n}")
+    i = np.arange(1, n + 1, dtype=np.float64)
+    return float(np.sum(i ** -theta))
+
+
+class ZipfianGenerator:
+    """Ranks ``0..n-1`` with P(rank) ∝ 1/(rank+1)^theta.
+
+    ``theta=0.99`` is YCSB's default "long-tailed" skew.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        if n <= 0:
+            raise WorkloadError(f"item count must be >= 1, got {n}")
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError(f"theta must be in (0,1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self.zetan = zeta(n, theta)
+        self.zeta2 = zeta(2, theta) if n >= 2 else self.zetan
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+            1.0 - self.zeta2 / self.zetan
+        )
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
+        """Draw ranks; vectorised when ``size`` is given."""
+        scalar = size is None
+        u = rng.random(1 if scalar else size)
+        uz = u * self.zetan
+        ranks = (self.n * (self.eta * u - self.eta + 1.0) ** self.alpha).astype(
+            np.int64
+        )
+        ranks = np.where(uz < 1.0, 0, ranks)
+        ranks = np.where((uz >= 1.0) & (uz < 1.0 + 0.5 ** self.theta), 1, ranks)
+        ranks = np.clip(ranks, 0, self.n - 1)
+        return int(ranks[0]) if scalar else ranks
+
+
+class ScrambledZipfian:
+    """Zipfian ranks scattered over the key space by FNV mixing, so the
+    hottest keys are spread out (YCSB's ScrambledZipfianGenerator)."""
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta)
+        # precomputed permutation-ish mapping via FNV of the rank
+        ranks = np.arange(n, dtype=np.uint64)
+        self._map = self._scramble(ranks, n)
+
+    @staticmethod
+    def _scramble(ranks: np.ndarray, n: int) -> np.ndarray:
+        # vectorised FNV-1a over the 8 little-endian bytes of each rank
+        h = np.full(ranks.shape, 0xCBF29CE484222325, dtype=np.uint64)
+        prime = np.uint64(0x100000001B3)
+        for shift in range(0, 64, 8):
+            byte = (ranks >> np.uint64(shift)) & np.uint64(0xFF)
+            h = (h ^ byte) * prime
+        return (h % np.uint64(n)).astype(np.int64)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        ranks = self._zipf.sample(rng, size)
+        if size is None:
+            return int(self._map[ranks])
+        return self._map[np.asarray(ranks)]
+
+
+class UniformGenerator:
+    """Uniform key choice (for sensitivity studies)."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise WorkloadError(f"item count must be >= 1, got {n}")
+        self.n = n
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return int(rng.integers(0, self.n))
+        return rng.integers(0, self.n, size=size)

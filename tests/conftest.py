@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.stores import StoreSetup, build_store
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+#: Small-footprint config for fast store tests.
+SMALL = {"pool_size": 1 << 20, "table_buckets": 512}
+
+
+def small_store(
+    name: str, env: Environment, n_clients: int = 1, **overrides
+) -> StoreSetup:
+    """Deploy a store with a small memory footprint for unit tests."""
+    cfg = dict(SMALL)
+    if name.startswith("efactory"):
+        cfg["auto_clean"] = False
+    cfg.update(overrides)
+    return build_store(name, env, config_overrides=cfg, n_clients=n_clients).start()
+
+
+def run1(env: Environment, gen):
+    """Run a single client generator to completion, return its value."""
+    return env.run(env.process(gen))
+
+
+ALL_STORES = [
+    "efactory",
+    "efactory_nohr",
+    "ca",
+    "rpc",
+    "saw",
+    "imm",
+    "erda",
+    "forca",
+]

@@ -1,0 +1,96 @@
+"""The crash-consistency oracle: each store's guarantees hold (or its
+documented weaknesses show up) under injected power failures."""
+
+import pytest
+
+from repro.harness.crash import CrashSpec, run_crash_experiment
+
+
+def _spec(store, **kw):
+    defaults = dict(
+        store=store,
+        n_clients=3,
+        key_count=24,
+        ops_before_crash=120,
+        seed=7,
+        evict_probability=0.35,
+    )
+    defaults.update(kw)
+    return CrashSpec(**defaults)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize(
+        "store", ["efactory", "efactory_nohr", "rpc", "saw", "imm", "erda", "forca"]
+    )
+    def test_no_advertised_guarantee_violated(self, store):
+        report = run_crash_experiment(_spec(store))
+        assert report.ok, report.violations
+
+    @pytest.mark.parametrize("store", ["rpc", "saw", "imm"])
+    def test_durable_stores_lose_nothing_acked(self, store):
+        report = run_crash_experiment(_spec(store))
+        assert report.durability_losses == 0
+
+    def test_efactory_monotonic_reads(self):
+        """§5.3: eFactory "refrains from non-monotonic reads across
+        crashes" — anything a GET returned must survive recovery."""
+        for seed in (7, 11, 13):
+            report = run_crash_experiment(
+                _spec("efactory", seed=seed, read_fraction=0.5)
+            )
+            assert report.monotonicity_losses == 0, seed
+
+    def test_efactory_never_exposes_torn_values(self):
+        report = run_crash_experiment(_spec("efactory"))
+        assert report.torn_exposed == 0
+
+
+class TestDocumentedWeaknesses:
+    def test_ca_exposes_torn_values(self):
+        """The unsafe baseline tears objects across crashes (§3) —
+        if this stops happening the crash model broke."""
+        torn = sum(
+            run_crash_experiment(
+                _spec("ca", seed=seed, recover=False)
+            ).torn_exposed
+            for seed in (7, 11, 13)
+        )
+        assert torn > 0
+
+    def test_erda_non_monotonic_reads_occur(self):
+        """§7: Erda's natural-eviction durability allows reads to travel
+        backwards across a crash; eFactory's fix is the contrast."""
+        losses = sum(
+            run_crash_experiment(
+                _spec("erda", seed=seed, read_fraction=0.5, evict_probability=0.2)
+            ).monotonicity_losses
+            for seed in (7, 11, 13)
+        )
+        assert losses > 0
+
+    def test_erda_loses_more_with_less_eviction(self):
+        low = run_crash_experiment(_spec("erda", evict_probability=0.05))
+        high = run_crash_experiment(_spec("erda", evict_probability=0.95))
+        assert low.durability_losses >= high.durability_losses
+
+
+class TestReportShape:
+    def test_report_fields(self):
+        report = run_crash_experiment(_spec("efactory"))
+        assert report.completed_ops >= report.spec.ops_before_crash
+        assert len(report.audits) == report.spec.key_count
+        assert report.recovery is not None
+        assert report.recovery.objects_scanned > 0
+
+    def test_ca_skips_recovery(self):
+        report = run_crash_experiment(_spec("ca"))
+        assert report.recovery is None
+
+    def test_deterministic(self):
+        a = run_crash_experiment(_spec("efactory"))
+        b = run_crash_experiment(_spec("efactory"))
+        assert a.completed_ops == b.completed_ops
+        assert [x.recovered_version for x in a.audits] == [
+            x.recovered_version for x in b.audits
+        ]

@@ -1,0 +1,81 @@
+"""Micro-scale smokes of the canned figure experiments (the benchmarks
+run them at full scale; these just pin the data shapes and renderers)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    crash_consistency,
+    fig1_write_latency,
+    fig2_get_breakdown,
+    fig9_throughput,
+    fig10_scalability,
+    fig11_log_cleaning,
+    render_crash,
+    render_fig1,
+    render_fig2,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+)
+
+
+def test_fig1_shape_and_render():
+    data = fig1_write_latency(sizes=(64,), stores=("ca", "rpc"), ops=40)
+    assert set(data) == {"ca", "rpc"}
+    p50, p99 = data["ca"][64]
+    assert 0 < p50 <= p99
+    out = render_fig1(data)
+    assert "Figure 1" in out and "CA w/o persistence" in out
+
+
+def test_fig2_shape_and_render():
+    data = fig2_get_breakdown(sizes=(1024,), stores=("erda",), ops=40)
+    row = data["erda"][1024]
+    assert row["total_ns"] == pytest.approx(
+        row["crc_ns"] + row["other_ns"]
+    )
+    assert 0 < row["crc_share"] < 1
+    assert "crc" in render_fig2(data)
+
+
+def test_fig9_shape_and_render():
+    data = fig9_throughput(
+        "YCSB-B",
+        sizes=(256,),
+        stores=("efactory", "erda"),
+        n_clients=2,
+        ops=60,
+        key_count=64,
+    )
+    assert data["efactory"][256] > 0
+    out = render_fig9("YCSB-B", data)
+    assert "256B" in out and "eFactory" in out
+
+
+def test_fig10_shape_and_render():
+    data = fig10_scalability(
+        "update-only",
+        client_counts=(1, 2),
+        stores=("ca",),
+        ops=50,
+        key_count=64,
+    )
+    # more clients -> more throughput while unsaturated
+    assert data["ca"][2] > data["ca"][1]
+    assert "1 cli" in render_fig10("update-only", data)
+
+
+def test_fig11_shape_and_render():
+    data = fig11_log_cleaning(
+        workload_names=("YCSB-A",), ops=80, key_count=64, n_clients=2
+    )
+    row = data["YCSB-A"]
+    assert row["normal_ns"] > 0 and row["cleaning_ns"] > 0
+    assert "overhead" in render_fig11(data)
+
+
+def test_crash_consistency_shape_and_render():
+    data = crash_consistency(stores=("efactory",), seeds=(7,))
+    assert len(data["efactory"]) == 1
+    assert data["efactory"][0].ok
+    assert "eFactory" in render_crash(data)

@@ -1,0 +1,107 @@
+"""Log-bucketed histogram."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.histogram import LogHistogram
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_empty(self):
+        h = LogHistogram()
+        assert h.count == 0
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.mean)
+        assert h.render() == "(empty histogram)"
+
+    def test_single_sample(self):
+        h = LogHistogram()
+        h.record(1500.0)
+        assert h.count == 1
+        assert h.mean == 1500.0
+        assert h.percentile(50) == 1500.0  # clamped to min/max seen
+        assert h.percentile(0) == 1500.0
+
+    def test_mean_exact(self):
+        h = LogHistogram()
+        for v in (100.0, 200.0, 300.0):
+            h.record(v)
+        assert h.mean == 200.0
+
+    def test_percentile_accuracy(self):
+        """Quantile error bounded by bucket width (~4.4% at 16/octave)."""
+        h = LogHistogram(sub_buckets=16)
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(mean=8.0, sigma=1.0, size=20_000)
+        h.record_many(samples)
+        for q in (50, 90, 99):
+            exact = float(np.percentile(samples, q))
+            approx = h.percentile(q)
+            assert abs(approx - exact) / exact < 0.06, q
+
+    def test_clamping(self):
+        h = LogHistogram(min_ns=100, max_ns=1000)
+        h.record(1.0)
+        h.record(1e9)
+        assert h.count == 2
+        assert h.min_seen == 1.0 and h.max_seen == 1e9
+
+    def test_negative_rejected(self):
+        h = LogHistogram()
+        with pytest.raises(ConfigError):
+            h.record(-1.0)
+        with pytest.raises(ConfigError):
+            h.record_many([1.0, -2.0])
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            LogHistogram(min_ns=0)
+        with pytest.raises(ConfigError):
+            LogHistogram(min_ns=10, max_ns=5)
+        with pytest.raises(ConfigError):
+            LogHistogram(sub_buckets=0)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ConfigError):
+            LogHistogram().percentile(101)
+
+
+class TestMerge:
+    def test_merge_equals_combined_population(self):
+        rng = np.random.default_rng(1)
+        a_samples = rng.exponential(1000, 5000)
+        b_samples = rng.exponential(5000, 5000)
+        a, b, combined = LogHistogram(), LogHistogram(), LogHistogram()
+        a.record_many(a_samples)
+        b.record_many(b_samples)
+        combined.record_many(np.concatenate([a_samples, b_samples]))
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.percentile(99) == pytest.approx(combined.percentile(99))
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            LogHistogram(sub_buckets=8).merge(LogHistogram(sub_buckets=16))
+
+
+class TestRender:
+    def test_render_contains_counts(self):
+        h = LogHistogram()
+        h.record_many([1000.0] * 10)
+        out = h.render()
+        assert "#" in out and "10" in out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(1.0, 1e9), min_size=1, max_size=200))
+def test_percentiles_monotone_property(values):
+    h = LogHistogram()
+    h.record_many(values)
+    qs = [h.percentile(q) for q in (1, 25, 50, 75, 99)]
+    assert qs == sorted(qs)
+    assert h.min_seen <= qs[0] and qs[-1] <= h.max_seen

@@ -1,0 +1,106 @@
+"""Latency recording and summaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import ci95, fmt_mops, fmt_ns, geo_mean, improvement, speedup
+from repro.analysis.tables import Table, banner
+from repro.errors import ConfigError
+from repro.harness.metrics import LatencyRecorder, summarize
+
+
+class TestLatencyRecorder:
+    def test_record_and_percentiles(self):
+        rec = LatencyRecorder()
+        for v in range(1, 101):
+            rec.record("get", float(v))
+        assert rec.count("get") == 100
+        assert rec.median("get") == pytest.approx(50.5)
+        assert rec.p99("get") == pytest.approx(99.01)
+        assert rec.mean("get") == pytest.approx(50.5)
+
+    def test_kinds_separated_and_pooled(self):
+        rec = LatencyRecorder()
+        rec.record("get", 10.0)
+        rec.record("put", 30.0)
+        assert rec.kinds() == ["get", "put"]
+        assert rec.count() == 2
+        assert rec.mean() == 20.0
+        assert rec.mean("put") == 30.0
+
+    def test_empty_is_nan(self):
+        rec = LatencyRecorder()
+        assert math.isnan(rec.median("get"))
+        assert rec.array().size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyRecorder().record("get", -1.0)
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record("get", 1.0)
+        b.record("get", 3.0)
+        a.merge(b)
+        assert a.count("get") == 2 and a.mean("get") == 2.0
+
+    def test_summarize(self):
+        rec = LatencyRecorder()
+        for v in [10.0, 20.0, 30.0, 40.0]:
+            rec.record("op", v)
+        s = summarize(rec)
+        assert s.count == 4
+        assert s.mean_ns == 25.0
+        assert s.max_ns == 40.0
+        assert s.p50_us == pytest.approx(0.025)
+
+    def test_summarize_empty(self):
+        s = summarize(LatencyRecorder())
+        assert s.count == 0 and math.isnan(s.mean_ns)
+
+
+class TestStats:
+    def test_speedup_and_improvement(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert improvement(1.42, 1.0) == pytest.approx(0.42)
+        assert math.isnan(speedup(1.0, 0.0))
+
+    def test_geo_mean(self):
+        assert geo_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geo_mean([]))
+
+    def test_ci95(self):
+        mean, half = ci95([10.0] * 16)
+        assert mean == 10.0 and half == 0.0
+        mean, half = ci95(list(range(100)))
+        assert half > 0
+
+    def test_formatters(self):
+        assert fmt_ns(500) == "500ns"
+        assert fmt_ns(1500) == "1.50us"
+        assert fmt_ns(2.5e6) == "2.50ms"
+        assert fmt_ns(float("nan")) == "n/a"
+        assert fmt_mops(1.5) == "1.50 Mops/s"
+        assert fmt_mops(0.25) == "250.0 Kops/s"
+
+
+class TestTable:
+    def test_render_aligned(self):
+        t = Table(["name", "value"])
+        t.add("short", 1.5)
+        t.add("a-longer-name", 22)
+        out = t.render()
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.500" in out and "22" in out
+
+    def test_wrong_arity_rejected(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_banner(self):
+        assert banner("hello").startswith("== hello ")

@@ -1,0 +1,46 @@
+"""Replicated runs with confidence intervals."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.repeat import run_replicated
+from repro.harness.runner import RunSpec
+from repro.workloads.ycsb import update_only, ycsb_b
+
+
+def _spec(store="ca", workload=None):
+    return RunSpec(
+        store=store,
+        workload=workload or ycsb_b(value_len=128, key_count=64),
+        n_clients=2,
+        ops_per_client=50,
+        warmup_ops=5,
+    )
+
+
+def test_aggregates_over_seeds():
+    rep = run_replicated(_spec(), seeds=(1, 2, 3))
+    assert len(rep.results) == 3
+    assert rep.throughput_mops.mean > 0
+    assert rep.throughput_mops.half_width >= 0
+    assert len(rep.throughput_mops.samples) == 3
+    assert rep.total_errors == 0
+    assert "Mops/s" in rep.describe()
+
+
+def test_seed_variance_is_nonzero():
+    rep = run_replicated(_spec(), seeds=(1, 2, 3))
+    assert len(set(rep.throughput_mops.samples)) > 1
+
+
+def test_put_only_has_nan_get():
+    rep = run_replicated(
+        _spec(workload=update_only(value_len=64, key_count=32)), seeds=(1,)
+    )
+    assert rep.get_p50_ns.mean != rep.get_p50_ns.mean  # NaN
+    assert rep.put_p50_ns.mean > 0
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ConfigError):
+        run_replicated(_spec(), seeds=())

@@ -1,0 +1,91 @@
+"""End-to-end experiment runner."""
+
+import pytest
+
+from repro.harness.runner import RunSpec, run_experiment, size_pool_for
+from repro.workloads.ycsb import update_only, ycsb_a, ycsb_b, ycsb_f
+from tests.conftest import ALL_STORES
+
+
+def _tiny(store, workload, **kw):
+    defaults = dict(
+        store=store,
+        workload=workload,
+        n_clients=2,
+        ops_per_client=40,
+        warmup_ops=5,
+        seed=3,
+    )
+    defaults.update(kw)
+    return RunSpec(**defaults)
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("store", ALL_STORES)
+    def test_mixed_run_all_stores(self, store):
+        spec = _tiny(store, ycsb_a(value_len=256, key_count=64))
+        result = run_experiment(spec)
+        assert result.errors == 0
+        assert result.measured_ops == spec.total_measured_ops
+        assert result.throughput_mops > 0
+        assert result.latency.count("get") > 0
+        assert result.latency.count("put") > 0
+
+    def test_throughput_accounting(self):
+        spec = _tiny("ca", update_only(value_len=64, key_count=32))
+        result = run_experiment(spec)
+        # window covers the measured ops: throughput = ops/window
+        assert result.throughput_mops == pytest.approx(
+            result.measured_ops / result.window_ns * 1e3
+        )
+        assert result.window_ns > 0
+
+    def test_deterministic_given_seed(self):
+        spec = _tiny("efactory", ycsb_b(value_len=128, key_count=64))
+        r1 = run_experiment(spec)
+        r2 = run_experiment(spec)
+        assert r1.throughput_mops == r2.throughput_mops
+        assert r1.latency.median("get") == r2.latency.median("get")
+
+    def test_seed_changes_results(self):
+        base = _tiny("efactory", ycsb_b(value_len=128, key_count=64))
+        other = RunSpec(**{**base.__dict__, "seed": 99})
+        assert (
+            run_experiment(base).latency.mean("get")
+            != run_experiment(other).latency.mean("get")
+        )
+
+    def test_efactory_read_stats_collected(self):
+        spec = _tiny("efactory", ycsb_b(value_len=128, key_count=64))
+        result = run_experiment(spec)
+        # counters include warmup reads; measured reads are a subset
+        assert result.pure_reads + result.fallback_reads >= result.latency.count("get")
+        assert result.pure_reads > 0
+
+    def test_post_setup_hook_invoked(self):
+        called = {}
+
+        def hook(env, setup):
+            called["store"] = setup.spec.name
+
+        run_experiment(_tiny("ca", update_only(value_len=64, key_count=16)), post_setup=hook)
+        assert called == {"store": "ca"}
+
+
+class TestYcsbF:
+    def test_rmw_recorded_as_one_op(self):
+        spec = _tiny("efactory", ycsb_f(value_len=128, key_count=64))
+        result = run_experiment(spec)
+        assert result.errors == 0
+        assert result.latency.count("rmw") > 0
+        # an RMW (get + dependent put) is slower than either alone
+        assert result.latency.median("rmw") > result.latency.median("get")
+
+
+class TestPoolSizing:
+    def test_size_pool_covers_worst_case(self):
+        spec = _tiny("ca", update_only(value_len=4096, key_count=512))
+        need = (
+            512 + spec.n_clients * (spec.ops_per_client + spec.warmup_ops)
+        ) * (64 + 16 + 4096)
+        assert size_pool_for(spec) >= need

@@ -1,0 +1,197 @@
+"""Workload generation: distributions, keys, verifiable values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.keyspace import make_key, make_value, parse_value
+from repro.workloads.ycsb import (
+    WORKLOADS,
+    update_only,
+    ycsb_a,
+    ycsb_b,
+    ycsb_c,
+    ycsb_f,
+)
+from repro.workloads.zipf import (
+    ScrambledZipfian,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+)
+
+
+class TestZipf:
+    def test_zeta_known_values(self):
+        assert zeta(1, 0.99) == 1.0
+        assert zeta(2, 0.5) == pytest.approx(1 + 2 ** -0.5)
+
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(100)
+        rng = np.random.default_rng(0)
+        ranks = gen.sample(rng, size=10_000)
+        assert ranks.min() >= 0 and ranks.max() < 100
+
+    def test_skew_head_is_hot(self):
+        """Rank 0 must dominate: the long-tailed property the paper's
+        read-write races depend on."""
+        gen = ZipfianGenerator(1000, theta=0.99)
+        rng = np.random.default_rng(1)
+        ranks = gen.sample(rng, size=50_000)
+        share0 = np.mean(ranks == 0)
+        share_tail = np.mean(ranks >= 500)
+        assert share0 > 0.10  # theory: 1/zeta(1000, .99) ~= 0.13
+        assert share0 > share_tail
+
+    def test_monotone_popularity(self):
+        gen = ZipfianGenerator(50, theta=0.9)
+        rng = np.random.default_rng(2)
+        ranks = gen.sample(rng, size=100_000)
+        counts = np.bincount(ranks, minlength=50)
+        # popularity decreases from head to tail (allow sampling noise
+        # by comparing coarse buckets)
+        assert counts[:5].sum() > counts[5:15].sum() > counts[30:50].sum()
+
+    def test_scalar_sampling(self):
+        gen = ZipfianGenerator(10)
+        rng = np.random.default_rng(3)
+        r = gen.sample(rng)
+        assert isinstance(r, int) and 0 <= r < 10
+
+    def test_scrambled_spreads_hot_keys(self):
+        gen = ScrambledZipfian(1000)
+        rng = np.random.default_rng(4)
+        keys = np.asarray(gen.sample(rng, size=20_000))
+        assert keys.min() >= 0 and keys.max() < 1000
+        # the hottest key is no longer id 0
+        hot = np.bincount(keys, minlength=1000).argmax()
+        counts = np.bincount(keys, minlength=1000)
+        assert counts[hot] > 0.1 * keys.size
+
+    def test_scrambled_deterministic(self):
+        a = ScrambledZipfian(100).sample(np.random.default_rng(5), size=50)
+        b = ScrambledZipfian(100).sample(np.random.default_rng(5), size=50)
+        assert np.array_equal(a, b)
+
+    def test_uniform(self):
+        gen = UniformGenerator(10)
+        rng = np.random.default_rng(6)
+        keys = gen.sample(rng, size=10_000)
+        counts = np.bincount(keys, minlength=10)
+        assert counts.min() > 800  # roughly flat
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(0)
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, theta=1.5)
+        with pytest.raises(WorkloadError):
+            UniformGenerator(-1)
+
+
+class TestKeyspace:
+    def test_make_key_fixed_width(self):
+        assert make_key(0) == b"user000000000000"
+        assert make_key(42, key_len=32) == b"user" + b"0" * 26 + b"42"
+        assert len(make_key(5, 20)) == 20
+
+    def test_key_overflow_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_key(10**13, key_len=16)
+        with pytest.raises(WorkloadError):
+            make_key(1, key_len=8)
+
+    def test_value_roundtrip(self):
+        v = make_value(7, 3, 64)
+        assert len(v) == 64
+        assert parse_value(v) == (7, 3)
+
+    def test_minimum_value_size(self):
+        assert parse_value(make_value(1, 1, 16)) == (1, 1)
+        with pytest.raises(WorkloadError):
+            make_value(1, 1, 8)
+
+    def test_torn_value_detected(self):
+        v = bytearray(make_value(7, 3, 128))
+        v[64] ^= 0xFF
+        assert parse_value(bytes(v)) is None
+
+    def test_wrong_header_detected(self):
+        v = bytearray(make_value(7, 3, 64))
+        v[0] ^= 0x01  # key_id now 6: pattern no longer matches
+        assert parse_value(bytes(v)) is None
+
+    def test_short_value_is_none(self):
+        assert parse_value(b"short") is None
+
+    @given(
+        kid=st.integers(0, 2**32),
+        ver=st.integers(0, 2**32),
+        vlen=st.integers(16, 512),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, kid, ver, vlen):
+        assert parse_value(make_value(kid, ver, vlen)) == (kid, ver)
+
+    @given(
+        kid=st.integers(0, 100),
+        ver=st.integers(0, 100),
+        vlen=st.integers(17, 128),
+        pos=st.integers(0, 1000),
+    )
+    @settings(max_examples=50)
+    def test_any_corruption_detected(self, kid, ver, vlen, pos):
+        v = bytearray(make_value(kid, ver, vlen))
+        v[pos % vlen] ^= 0x5A
+        assert parse_value(bytes(v)) is None
+
+
+class TestYcsbSpecs:
+    def test_canonical_mixes(self):
+        assert ycsb_c().read_fraction == 1.0
+        assert ycsb_b().read_fraction == 0.95
+        assert ycsb_a().read_fraction == 0.5
+        assert update_only().read_fraction == 0.0
+        assert ycsb_f().rmw_fraction == 0.5
+        assert set(WORKLOADS) == {
+            "YCSB-C", "YCSB-B", "YCSB-A", "YCSB-F", "update-only"
+        }
+
+    def test_client_stream_mix(self):
+        spec = ycsb_b(key_count=100)
+        rng = np.random.default_rng(0)
+        ops = spec.client_stream(rng, 5000)
+        reads = sum(1 for op in ops if op.kind == "get")
+        assert 0.93 < reads / 5000 < 0.97
+        assert all(0 <= op.key_id < 100 for op in ops)
+
+    def test_stream_deterministic(self):
+        spec = ycsb_a(key_count=64)
+        a = spec.client_stream(np.random.default_rng(9), 100)
+        b = spec.client_stream(np.random.default_rng(9), 100)
+        assert a == b
+
+    def test_uniform_distribution_option(self):
+        spec = ycsb_c(key_count=10, distribution="uniform")
+        ops = spec.client_stream(np.random.default_rng(1), 1000)
+        counts = np.bincount([op.key_id for op in ops], minlength=10)
+        assert counts.min() > 50
+
+    def test_ycsb_f_stream_mix(self):
+        spec = ycsb_f(key_count=64)
+        ops = spec.client_stream(np.random.default_rng(2), 4000)
+        from collections import Counter
+
+        kinds = Counter(op.kind for op in ops)
+        assert kinds["put"] == 0
+        assert 0.45 < kinds["rmw"] / 4000 < 0.55
+        assert 0.45 < kinds["get"] / 4000 < 0.55
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ycsb_a(key_count=0)
+        with pytest.raises(WorkloadError):
+            ycsb_a(value_len=8)
+        with pytest.raises(WorkloadError):
+            ycsb_c(rmw_fraction=0.5)  # 100% reads leave no rmw budget

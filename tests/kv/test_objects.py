@@ -1,0 +1,114 @@
+"""Object layout: headers, flags, version pointers, torn-parse behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptObjectError
+from repro.kv.objects import (
+    FLAG_DURABLE,
+    FLAG_TRANS,
+    FLAG_VALID,
+    HEADER_SIZE,
+    NULL_PTR,
+    OBJECT_HEADER,
+    build_header,
+    object_size,
+    pack_ptr,
+    parse_header,
+    parse_object,
+    unpack_ptr,
+)
+
+
+class TestHeader:
+    def test_size_and_alignment(self):
+        assert HEADER_SIZE == 40
+        # u64 fields must be 8-byte aligned for atomic pointer fix-ups
+        for field in ("pre_ptr", "nxt_ptr", "ts"):
+            assert OBJECT_HEADER.offset_of(field) % 8 == 0
+
+    def test_flags_offset_is_2(self):
+        """set_object_flags pokes byte 2 directly; pin the layout."""
+        assert OBJECT_HEADER.offset_of("flags") == 2
+
+    def test_roundtrip(self):
+        hdr = build_header(
+            flags=FLAG_VALID | FLAG_DURABLE,
+            klen=16,
+            vlen=256,
+            crc=0xDEADBEEF,
+            pre_ptr=pack_ptr(1, 640),
+            ts=12345,
+        )
+        obj = parse_object(hdr + b"k" * 16 + b"v" * 256)
+        assert obj.well_formed
+        assert obj.valid and obj.durable and not obj.transferred
+        assert obj.klen == 16 and obj.vlen == 256
+        assert obj.crc == 0xDEADBEEF
+        assert unpack_ptr(obj.pre_ptr) == (1, 640)
+        assert obj.key == b"k" * 16 and obj.value == b"v" * 256
+
+    def test_parse_header_rejects_bad_magic(self):
+        assert parse_header(b"\x00" * HEADER_SIZE) is None
+        assert parse_header(b"\x00" * 4) is None
+
+    def test_parse_object_torn_is_not_well_formed(self):
+        hdr = build_header(flags=FLAG_VALID, klen=8, vlen=100, crc=0)
+        # truncated: value missing
+        obj = parse_object(hdr + b"k" * 8)
+        assert not obj.well_formed
+        assert obj.key == b"" and obj.value == b""
+
+    def test_parse_object_zeroed_memory(self):
+        obj = parse_object(b"\x00" * 128)
+        assert not obj.well_formed
+
+    def test_fragment_smaller_than_header_raises(self):
+        with pytest.raises(CorruptObjectError):
+            parse_object(b"\x01" * 10)
+
+    def test_object_size(self):
+        assert object_size(16, 1024) == HEADER_SIZE + 16 + 1024
+
+
+class TestPointers:
+    def test_null(self):
+        assert unpack_ptr(NULL_PTR) is None
+
+    def test_offset_zero_distinct_from_null(self):
+        assert unpack_ptr(pack_ptr(0, 0)) == (0, 0)
+
+    def test_pool_bit(self):
+        assert unpack_ptr(pack_ptr(1, 12345)) == (1, 12345)
+
+    def test_invalid_pool(self):
+        with pytest.raises(ValueError):
+            pack_ptr(2, 0)
+
+    def test_offset_range_checked(self):
+        with pytest.raises(ValueError):
+            pack_ptr(0, 1 << 62)
+
+    @given(st.integers(0, 1), st.integers(0, (1 << 40)))
+    def test_roundtrip_property(self, pool, offset):
+        assert unpack_ptr(pack_ptr(pool, offset)) == (pool, offset)
+
+
+@given(
+    flags=st.integers(0, 7),
+    klen=st.integers(0, 64),
+    vlen=st.integers(0, 4096),
+    crc=st.integers(0, 0xFFFFFFFF),
+    ts=st.integers(0, 1 << 62),
+)
+def test_header_roundtrip_property(flags, klen, vlen, crc, ts):
+    hdr = build_header(flags=flags, klen=klen, vlen=vlen, crc=crc, ts=ts)
+    obj = parse_object(hdr + b"K" * klen + b"V" * vlen)
+    assert obj.well_formed
+    assert (obj.flags, obj.klen, obj.vlen, obj.crc, obj.ts) == (
+        flags,
+        klen,
+        vlen,
+        crc,
+        ts,
+    )

@@ -1,0 +1,205 @@
+"""PersistentBuffer: the volatility/persistence boundary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.mem.buffer import CACHELINE, PersistentBuffer
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBasics:
+    def test_write_visible_not_durable(self):
+        buf = PersistentBuffer(1024)
+        buf.write(10, b"hello")
+        assert buf.read(10, 5) == b"hello"
+        assert buf.read_durable(10, 5) == b"\x00" * 5
+        assert not buf.is_persistent(10, 5)
+
+    def test_flush_makes_durable(self):
+        buf = PersistentBuffer(1024)
+        buf.write(10, b"hello")
+        flushed = buf.flush(10, 5)
+        assert flushed == 1  # one line covers it
+        assert buf.read_durable(10, 5) == b"hello"
+        assert buf.is_persistent(10, 5)
+
+    def test_flush_skips_clean_lines(self):
+        buf = PersistentBuffer(1024)
+        buf.write(0, b"a" * CACHELINE)
+        assert buf.flush(0, 1024) == 1  # only the dirty line written back
+
+    def test_empty_write_and_flush(self):
+        buf = PersistentBuffer(256)
+        buf.write(0, b"")
+        assert buf.dirty_line_count() == 0
+        assert buf.flush(0, 0) == 0
+        assert buf.is_persistent(0, 0)
+
+    def test_bounds_checked(self):
+        buf = PersistentBuffer(64)
+        with pytest.raises(MemoryAccessError):
+            buf.write(60, b"xxxxx")
+        with pytest.raises(MemoryAccessError):
+            buf.read(-1, 4)
+        with pytest.raises(MemoryAccessError):
+            buf.read(0, 65)
+
+    def test_invalid_size(self):
+        with pytest.raises(MemoryAccessError):
+            PersistentBuffer(0)
+
+    def test_dirty_lines_span(self):
+        buf = PersistentBuffer(1024)
+        buf.write(60, b"x" * 10)  # straddles lines 0 and 1
+        assert buf.dirty_line_count() == 2
+        assert buf.dirty_lines_in(0, 128) == 2
+        assert buf.dirty_lines_in(128, 128) == 0
+
+
+class TestAtomic64:
+    def test_aligned_write(self):
+        buf = PersistentBuffer(64)
+        buf.write_atomic64(8, b"12345678")
+        assert buf.read(8, 8) == b"12345678"
+
+    def test_misaligned_rejected(self):
+        buf = PersistentBuffer(64)
+        with pytest.raises(MemoryAccessError):
+            buf.write_atomic64(4, b"12345678")
+
+    def test_wrong_size_rejected(self):
+        buf = PersistentBuffer(64)
+        with pytest.raises(MemoryAccessError):
+            buf.write_atomic64(0, b"1234")
+
+
+class TestCrash:
+    def test_crash_without_eviction_loses_dirty(self):
+        buf = PersistentBuffer(256)
+        buf.write(0, b"keep")
+        buf.flush(0, 4)
+        buf.write(64, b"lose")
+        summary = buf.crash(rng(), evict_probability=0.0)
+        assert summary == {"evicted": 0, "lost": 1}
+        assert buf.read(0, 4) == b"keep"
+        assert buf.read(64, 4) == b"\x00" * 4
+
+    def test_crash_with_full_eviction_keeps_everything(self):
+        buf = PersistentBuffer(256)
+        buf.write(64, b"survive")
+        buf.crash(rng(), evict_probability=1.0)
+        assert buf.read(64, 7) == b"survive"
+        assert buf.read_durable(64, 7) == b"survive"
+
+    def test_crash_clears_dirty_state(self):
+        buf = PersistentBuffer(256)
+        buf.write(0, b"x")
+        buf.crash(rng(), evict_probability=0.5)
+        assert buf.dirty_line_count() == 0
+        assert bytes(buf.visible) == bytes(buf.durable)
+
+    def test_crash_line_granular(self):
+        """Each dirty line flips independently (seed chosen to split)."""
+        buf = PersistentBuffer(4 * CACHELINE)
+        for line in range(4):
+            buf.write(line * CACHELINE, bytes([line + 1]) * CACHELINE)
+        buf.crash(rng(123), evict_probability=0.5)
+        kept = [
+            line
+            for line in range(4)
+            if buf.read(line * CACHELINE, 1) != b"\x00"
+        ]
+        assert 0 < len(kept) < 4  # seed 123 gives a mix
+
+    def test_invalid_probability(self):
+        buf = PersistentBuffer(64)
+        with pytest.raises(MemoryAccessError):
+            buf.crash(rng(), evict_probability=1.5)
+
+    def test_flushed_data_never_lost(self):
+        buf = PersistentBuffer(1024)
+        buf.write(100, b"important")
+        buf.flush(100, 9)
+        buf.write(100, b"uncommitt")  # re-dirty the same range
+        buf.crash(rng(7), evict_probability=0.0)
+        assert buf.read(100, 9) == b"important"
+
+
+class TestSharedLineIsolation:
+    def test_neighbor_dirtying_does_not_unpersist(self):
+        """A flushed range stays persistent when a neighbour in the same
+        cacheline is dirtied afterwards (byte-level rescue check)."""
+        buf = PersistentBuffer(256)
+        buf.write(0, b"A" * 16)
+        buf.flush(0, 16)
+        buf.write(16, b"B" * 16)  # same line, different bytes
+        assert buf.is_persistent(0, 16)
+        assert not buf.is_persistent(16, 16)
+
+    def test_crash_preserves_flushed_neighbor(self):
+        buf = PersistentBuffer(256)
+        buf.write(0, b"A" * 16)
+        buf.flush(0, 16)
+        buf.write(16, b"B" * 16)
+        buf.crash(rng(), evict_probability=0.0)
+        assert buf.read(0, 16) == b"A" * 16
+        assert buf.read(16, 16) == b"\x00" * 16
+
+
+@st.composite
+def _ops(draw):
+    kind = draw(st.sampled_from(["write", "flush"]))
+    addr = draw(st.integers(0, 1000))
+    if kind == "write":
+        data = draw(st.binary(min_size=1, max_size=24))
+        return ("write", addr, data)
+    length = draw(st.integers(0, 64))
+    return ("flush", addr, length)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_ops(), max_size=30), st.integers(0, 2**32 - 1))
+    def test_crash_state_invariants(self, ops, seed):
+        """After any op sequence + crash: visible == durable, nothing
+        dirty, and every byte equals either a written-then-flushed value
+        or something that was visible at crash time."""
+        buf = PersistentBuffer(1024)
+        shadow_flushed = bytearray(1024)  # lower bound: explicit flushes
+        for op in ops:
+            if op[0] == "write":
+                _, addr, data = op
+                if addr + len(data) <= 1024:
+                    buf.write(addr, data)
+            else:
+                _, addr, length = op
+                if addr + length <= 1024:
+                    buf.flush(addr, length)
+        pre_visible = bytes(buf.visible)
+        pre_durable = bytes(buf.durable)
+        buf.crash(np.random.default_rng(seed), evict_probability=0.5)
+        assert bytes(buf.visible) == bytes(buf.durable)
+        assert buf.dirty_line_count() == 0
+        # line-granular atomicity: every post-crash line is exactly the
+        # pre-crash visible line (evicted) or the pre-crash durable line
+        # (lost) — never a mix, never anything else
+        post = bytes(buf.visible)
+        for line in range(1024 // CACHELINE):
+            seg = slice(line * CACHELINE, (line + 1) * CACHELINE)
+            assert post[seg] in (pre_visible[seg], pre_durable[seg])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=128), st.integers(0, 800))
+    def test_flush_then_crash_roundtrip(self, data, addr):
+        buf = PersistentBuffer(1024)
+        if addr + len(data) > 1024:
+            addr = 1024 - len(data)
+        buf.write(addr, data)
+        buf.flush(addr, len(data))
+        buf.crash(np.random.default_rng(0), evict_probability=0.0)
+        assert buf.read(addr, len(data)) == data

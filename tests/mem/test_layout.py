@@ -1,0 +1,85 @@
+"""StructLayout: declarative binary records."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.layout import StructLayout
+
+
+DEMO = StructLayout(
+    "demo", [("a", "B"), ("pad", "B"), ("b", "H"), ("c", "I"), ("d", "Q")]
+)
+
+
+class TestLayout:
+    def test_size_and_offsets(self):
+        assert DEMO.size == 1 + 1 + 2 + 4 + 8
+        assert DEMO.offset_of("a") == 0
+        assert DEMO.offset_of("b") == 2
+        assert DEMO.offset_of("d") == 8
+        assert DEMO.size_of("d") == 8
+
+    def test_pack_unpack_roundtrip(self):
+        raw = DEMO.pack(a=1, pad=0, b=515, c=70000, d=1 << 40)
+        rec = DEMO.unpack(raw)
+        assert (rec.a, rec.b, rec.c, rec.d) == (1, 515, 70000, 1 << 40)
+
+    def test_little_endian(self):
+        raw = DEMO.pack(a=0, pad=0, b=0x0102, c=0, d=0)
+        assert raw[2:4] == b"\x02\x01"
+
+    def test_pack_missing_field(self):
+        with pytest.raises(ConfigError, match="missing"):
+            DEMO.pack(a=1)
+
+    def test_pack_unknown_field(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            DEMO.pack(a=1, pad=0, b=0, c=0, d=0, zz=9)
+
+    def test_unpack_wrong_size(self):
+        with pytest.raises(ConfigError):
+            DEMO.unpack(b"\x00" * 3)
+
+    def test_unpack_from_offset(self):
+        raw = b"\xff" * 4 + DEMO.pack(a=7, pad=0, b=1, c=2, d=3)
+        assert DEMO.unpack_from(raw, 4).a == 7
+
+    def test_single_field_pack(self):
+        packed = DEMO.pack_field("b", 0xBEEF)
+        assert packed == (0xBEEF).to_bytes(2, "little")
+
+    def test_single_field_unpack(self):
+        raw = DEMO.pack(a=9, pad=0, b=77, c=5, d=6)
+        assert DEMO.unpack_field("b", raw) == 77
+        assert DEMO.unpack_field("d", b"\x00" * 4 + raw, record_offset=4) == 6
+
+    def test_bytes_field(self):
+        lay = StructLayout("s", [("tag", "4s"), ("n", "I")])
+        raw = lay.pack(tag=b"ABCD", n=5)
+        rec = lay.unpack(raw)
+        assert rec.tag == b"ABCD" and rec.n == 5
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            StructLayout("bad", [("x", "B"), ("x", "B")])
+
+    def test_unsupported_code_rejected(self):
+        with pytest.raises(ConfigError):
+            StructLayout("bad", [("f", "d")])  # no floats on NVM records
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(ConfigError):
+            DEMO.offset_of("nope")
+
+
+@given(
+    a=st.integers(0, 255),
+    b=st.integers(0, 0xFFFF),
+    c=st.integers(0, 0xFFFFFFFF),
+    d=st.integers(0, (1 << 64) - 1),
+)
+def test_roundtrip_property(a, b, c, d):
+    raw = DEMO.pack(a=a, pad=0, b=b, c=c, d=d)
+    rec = DEMO.unpack(raw)
+    assert (rec.a, rec.b, rec.c, rec.d) == (a, b, c, d)

@@ -1,0 +1,90 @@
+"""NVMDevice: timed operations and cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nvm.device import NVMDevice, NVMTiming
+from repro.sim.kernel import Environment
+
+
+class TestTiming:
+    def test_cost_functions_affine(self):
+        t = NVMTiming()
+        assert t.copy_cost(0) == t.store_ns
+        assert t.copy_cost(1000) == t.store_ns + 1000 * t.copy_ns_per_byte
+        assert t.read_cost(64) == t.read_base_ns + 64 * t.read_ns_per_byte
+
+    def test_flush_cost_per_line(self):
+        t = NVMTiming()
+        one = t.flush_cost(1)
+        assert one == t.flush_line_ns + t.fence_ns
+        assert t.flush_cost(65) == 2 * t.flush_line_ns + t.fence_ns
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NVMTiming(fence_ns=-1)
+
+
+class TestDevice:
+    def test_copy_in_charges_time_and_writes(self, env):
+        dev = NVMDevice(env, 4096)
+
+        def proc():
+            yield from dev.copy_in(100, b"payload")
+            return env.now
+
+        elapsed = env.run(env.process(proc()))
+        assert elapsed == pytest.approx(dev.timing.copy_cost(7))
+        assert dev.read(100, 7) == b"payload"
+        assert not dev.is_persistent(100, 7)
+
+    def test_persist_charges_and_flushes(self, env):
+        dev = NVMDevice(env, 4096)
+        dev.write(0, b"x" * 100)
+
+        def proc():
+            lines = yield from dev.persist(0, 100)
+            return lines, env.now
+
+        lines, elapsed = env.run(env.process(proc()))
+        assert lines == 2
+        assert elapsed == pytest.approx(dev.timing.flush_cost(100))
+        assert dev.is_persistent(0, 100)
+
+    def test_persist_clean_range_charges_full_sweep(self, env):
+        """Timing covers issuing CLWBs even over clean lines."""
+        dev = NVMDevice(env, 4096)
+
+        def proc():
+            lines = yield from dev.persist(0, 128)
+            return lines, env.now
+
+        lines, elapsed = env.run(env.process(proc()))
+        assert lines == 0
+        assert elapsed == pytest.approx(dev.timing.flush_cost(128))
+
+    def test_load_returns_data(self, env):
+        dev = NVMDevice(env, 4096)
+        dev.write(5, b"abc")
+
+        def proc():
+            data = yield from dev.load(5, 3)
+            return data
+
+        assert env.run(env.process(proc())) == b"abc"
+
+    def test_store_atomic(self, env):
+        dev = NVMDevice(env, 4096)
+
+        def proc():
+            yield from dev.store(8, b"12345678", atomic=True)
+
+        env.run(env.process(proc()))
+        assert dev.read(8, 8) == b"12345678"
+
+    def test_crash_delegates(self, env):
+        dev = NVMDevice(env, 4096)
+        dev.write(0, b"gone")
+        dev.crash(np.random.default_rng(0), evict_probability=0.0)
+        assert dev.read(0, 4) == b"\x00" * 4

@@ -1,0 +1,69 @@
+"""Memory registration: regions, rkeys, invalidation."""
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.nvm.device import NVMDevice
+from repro.rdma.mr import MemoryRegion, ProtectionDomain
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def device(env):
+    return NVMDevice(env, 1 << 16)
+
+
+class TestMemoryRegion:
+    def test_check_returns_absolute_address(self, device):
+        mr = MemoryRegion(device, base=4096, size=8192)
+        assert mr.check(100, 16, write=True) == 4196
+
+    def test_bounds(self, device):
+        mr = MemoryRegion(device, base=0, size=128)
+        with pytest.raises(ProtectionError):
+            mr.check(120, 16, write=False)
+        with pytest.raises(ProtectionError):
+            mr.check(-1, 4, write=False)
+
+    def test_readonly_enforced(self, device):
+        mr = MemoryRegion(device, base=0, size=128, writable=False)
+        mr.check(0, 8, write=False)
+        with pytest.raises(ProtectionError):
+            mr.check(0, 8, write=True)
+
+    def test_invalidated_region_rejects_access(self, device):
+        mr = MemoryRegion(device, base=0, size=128)
+        mr.invalidate()
+        with pytest.raises(ProtectionError):
+            mr.check(0, 8, write=False)
+
+    def test_region_must_fit_device(self, device):
+        with pytest.raises(ProtectionError):
+            MemoryRegion(device, base=0, size=(1 << 16) + 1)
+
+    def test_unique_rkeys(self, device):
+        a = MemoryRegion(device, 0, 64)
+        b = MemoryRegion(device, 64, 64)
+        assert a.rkey != b.rkey
+
+
+class TestProtectionDomain:
+    def test_register_lookup(self, device):
+        pd = ProtectionDomain()
+        mr = pd.register(device, 0, 1024, name="pool")
+        assert pd.lookup(mr.rkey) is mr
+        assert len(pd) == 1
+
+    def test_lookup_unknown_rkey(self, device):
+        pd = ProtectionDomain()
+        with pytest.raises(ProtectionError):
+            pd.lookup(0xABCD)
+
+    def test_deregister(self, device):
+        pd = ProtectionDomain()
+        mr = pd.register(device, 0, 1024)
+        pd.deregister(mr)
+        assert not mr.valid
+        with pytest.raises(ProtectionError):
+            pd.lookup(mr.rkey)
+        assert len(pd) == 0

@@ -1,0 +1,179 @@
+"""SEND-based RPC layer."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.nvm.device import NVMDevice
+from repro.rdma.fabric import Fabric
+from repro.rdma.rpc import RpcClient, RpcFault, RpcServer, rpc_error
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def rpc_net(env):
+    fabric = Fabric(env, jitter_ns=0.0)
+    server = fabric.create_node("server", device=NVMDevice(env, 4096), cores=1)
+    client = fabric.create_node("client")
+    ep = fabric.connect(client, server)
+    srv = RpcServer(env, server, dispatch_ns=100.0)
+    return fabric, server, srv, RpcClient(ep), ep
+
+
+def test_call_and_response(env, rpc_net):
+    _f, _s, srv, client, _ep = rpc_net
+
+    def add_one(msg):
+        yield env.timeout(10)
+        return {"n": msg.payload["n"] + 1}, 32
+
+    srv.register("inc", add_one)
+    srv.start()
+
+    def proc():
+        return (yield from client.call({"op": "inc", "n": 4}, 64))
+
+    assert env.run(env.process(proc())) == {"n": 5}
+    assert srv.requests_served == 1
+
+
+def test_error_response_raises_fault(env, rpc_net):
+    _f, _s, srv, client, _ep = rpc_net
+
+    def failing(msg):
+        yield env.timeout(1)
+        return rpc_error("no such thing"), 32
+
+    srv.register("bad", failing)
+    srv.start()
+
+    def proc():
+        yield from client.call({"op": "bad"}, 64)
+
+    with pytest.raises(RpcFault, match="no such thing"):
+        env.run(env.process(proc()))
+
+
+def test_single_handler_serializes(env, rpc_net):
+    """With concurrent_handlers=1 requests queue behind each other."""
+    _f, _s, srv, client, ep = rpc_net
+
+    def slow(msg):
+        yield env.timeout(1000)
+        return {"t": env.now}, 32
+
+    srv.register("slow", slow)
+    srv.start()
+    times = []
+
+    def one_client(ep_):
+        c = RpcClient(ep_)
+        resp = yield from c.call({"op": "slow"}, 64)
+        times.append(resp["t"])
+
+    fabric, server = _f, _s
+    eps = [ep, fabric.connect(fabric.create_node("c2"), server)]
+    procs = [env.process(one_client(e)) for e in eps]
+    env.run(env.all_of(procs))
+    assert abs(times[1] - times[0]) >= 1000  # serialized on the one core
+
+
+def test_concurrent_handlers_overlap(env):
+    fabric = Fabric(env, jitter_ns=0.0)
+    server = fabric.create_node("server", device=NVMDevice(env, 4096), cores=2)
+    srv = RpcServer(env, server, dispatch_ns=100.0, concurrent_handlers=2)
+
+    def slow(msg):
+        yield env.timeout(1000)
+        return {"t": env.now}, 32
+
+    srv.register("slow", slow)
+    srv.start()
+    times = []
+
+    def one_client():
+        node = fabric.create_node(f"c{len(times)}")
+        ep = fabric.connect(node, server)
+        resp = yield from RpcClient(ep).call({"op": "slow"}, 64)
+        times.append(resp["t"])
+
+    procs = [env.process(one_client()) for _ in range(2)]
+    env.run(env.all_of(procs))
+    assert abs(times[1] - times[0]) < 1000  # overlapped on two cores
+
+
+def test_default_handler_catches_unrouted(env, rpc_net):
+    _f, _s, srv, client, ep = rpc_net
+    seen = []
+
+    def catcher(msg):
+        seen.append(msg.payload)
+        return None
+        yield  # generator
+
+    srv.register_default(catcher)
+    srv.start()
+
+    def proc():
+        yield from ep.send({"op": "mystery"}, 32)
+        yield env.timeout(5000)
+
+    env.run(env.process(proc()))
+    assert seen == [{"op": "mystery"}]
+
+
+def test_unroutable_without_default_dropped(env, rpc_net):
+    _f, _s, srv, client, ep = rpc_net
+    srv.start()
+
+    def proc():
+        yield from ep.send({"op": "nobody"}, 32)
+        yield env.timeout(5000)
+
+    env.run(env.process(proc()))  # nothing raises
+
+
+def test_stop_interrupts_dispatch(env, rpc_net):
+    _f, _s, srv, client, _ep = rpc_net
+    proc = srv.start()
+    env.run(until=100)
+    srv.stop()
+    env.run()
+    assert not proc.is_alive
+
+
+def test_stop_interrupts_inflight_handlers(env):
+    """A stopped server must not keep executing handler side effects —
+    crash fidelity depends on this."""
+    fabric = Fabric(env, jitter_ns=0.0)
+    server = fabric.create_node("server", device=NVMDevice(env, 4096), cores=2)
+    srv = RpcServer(env, server, dispatch_ns=10.0, concurrent_handlers=2)
+    effects = []
+
+    def slow_effect(msg):
+        yield env.timeout(10_000)
+        effects.append("mutated")
+        return {"ok": True}, 32
+
+    srv.register("slow", slow_effect)
+    srv.start()
+    client_node = fabric.create_node("c")
+    ep = fabric.connect(client_node, server)
+
+    def cli():
+        try:
+            yield from RpcClient(ep).call({"op": "slow"}, 64)
+        except Exception:
+            pass
+
+    env.process(cli())
+    env.run(until=5_000)  # handler is mid-flight
+    srv.stop()
+    env.run(until=50_000)
+    assert effects == []
+
+
+def test_double_start_rejected(env, rpc_net):
+    _f, _s, srv, _c, _ep = rpc_net
+    srv.start()
+    with pytest.raises(StoreError):
+        srv.start()

@@ -1,0 +1,166 @@
+"""Interrupted waiters must never leak reservations or swallow items.
+
+Regression tests for the crash-fidelity bugs these hooks fixed: a server
+stopped mid-crash leaves processes interrupted while queued on the NIC
+engine (Resource), the SRQ (FilterStore), a mailbox (Store), or a
+semaphore — none of which may strand later traffic.
+"""
+
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.resources import FilterStore, Resource, Semaphore, Store
+
+
+def test_interrupted_resource_waiter_releases_queue_slot(env):
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        req = yield from res.acquire()
+        yield env.timeout(100)
+        res.release(req)
+
+    def victim():
+        try:
+            yield from res.acquire()
+        except Interrupt:
+            order.append("victim interrupted")
+
+    def survivor():
+        yield env.timeout(10)
+        req = yield from res.acquire()
+        order.append(("survivor got it", env.now))
+        res.release(req)
+
+    env.process(holder())
+    v = env.process(victim())
+    env.process(survivor())
+
+    def killer():
+        yield env.timeout(5)
+        v.interrupt()
+
+    env.process(killer())
+    env.run()
+    assert order == ["victim interrupted", ("survivor got it", 100.0)]
+    assert res.count == 0 and res.queue_length == 0
+
+
+def test_interrupted_store_getter_does_not_swallow_item(env):
+    store = Store(env)
+    got = []
+
+    def victim():
+        try:
+            yield store.get()
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield env.timeout(10)
+        item = yield store.get()
+        got.append(item)
+
+    v = env.process(victim())
+    env.process(survivor())
+
+    def killer_then_put():
+        yield env.timeout(5)
+        v.interrupt()
+        yield env.timeout(10)
+        yield store.put("precious")
+
+    env.process(killer_then_put())
+    env.run()
+    assert got == ["precious"]
+
+
+def test_interrupted_filterstore_getter_pruned(env):
+    fs = FilterStore(env)
+    got = []
+
+    def victim():
+        try:
+            yield fs.get(lambda x: True)
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield env.timeout(10)
+        item = yield fs.get(lambda x: x == "msg")
+        got.append(item)
+
+    v = env.process(victim())
+    env.process(survivor())
+
+    def driver():
+        yield env.timeout(5)
+        v.interrupt()
+        yield env.timeout(10)
+        fs.put("msg")
+
+    env.process(driver())
+    env.run()
+    assert got == ["msg"]
+    assert len(fs._getters) == 0
+
+
+def test_interrupted_semaphore_waiter_skipped(env):
+    sem = Semaphore(env)
+    got = []
+
+    def victim():
+        try:
+            yield sem.acquire()
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield env.timeout(10)
+        yield sem.acquire()
+        got.append(env.now)
+
+    v = env.process(victim())
+    env.process(survivor())
+
+    def driver():
+        yield env.timeout(5)
+        v.interrupt()
+        yield env.timeout(10)
+        sem.release()
+
+    env.process(driver())
+    env.run()
+    assert got == [15.0]
+    assert sem.count == 0
+
+
+def test_bare_unyielded_event_still_served(env):
+    """An acquire event not yet yielded (no callbacks) must still be
+    granted — abandonment only triggers via explicit unsubscription."""
+    sem = Semaphore(env)
+    ev = sem.acquire()  # no process attached yet
+    sem.release()
+    assert ev.triggered
+
+    def late_waiter():
+        got = yield ev
+        return env.now
+
+    assert env.run(env.process(late_waiter())) == 0.0
+
+
+def test_interrupt_before_first_step_is_deliverable(env):
+    """A process interrupted before it ever ran still gets the
+    interrupt right after its first yield."""
+    log = []
+
+    def proc():
+        try:
+            yield env.timeout(1000)
+        except Interrupt as i:
+            log.append(i.cause)
+
+    p = env.process(proc())
+    p.interrupt("early")  # before the Initialize event processed
+    env.run()
+    assert log == ["early"]

@@ -1,0 +1,95 @@
+"""Property-based kernel checks: determinism, clock monotonicity, and
+conservation under randomly structured process trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Environment
+
+
+@st.composite
+def _program(draw):
+    """A random little program: list of (spawn_delay, [timeouts])."""
+    n_procs = draw(st.integers(1, 6))
+    return [
+        (
+            draw(st.floats(0, 100)),
+            draw(st.lists(st.floats(0, 50), min_size=1, max_size=6)),
+        )
+        for _ in range(n_procs)
+    ]
+
+
+def _execute(program):
+    env = Environment()
+    log = []
+
+    def worker(pid, delays):
+        for i, d in enumerate(delays):
+            yield env.timeout(d)
+            log.append((env.now, pid, i))
+
+    def spawner():
+        for pid, (delay, delays) in enumerate(program):
+            yield env.timeout(delay)
+            env.process(worker(pid, delays))
+
+    env.process(spawner())
+    env.run()
+    return log, env.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(_program())
+def test_deterministic_replay(program):
+    assert _execute(program) == _execute(program)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_program())
+def test_clock_monotone_and_complete(program):
+    log, end = _execute(program)
+    times = [t for t, _, _ in log]
+    assert times == sorted(times)
+    # every scheduled step ran exactly once
+    expected = sum(len(delays) for _, delays in program)
+    assert len(log) == expected
+    # the final time equals the slowest chain (spawner delays accumulate)
+    slowest = 0.0
+    spawn_at = 0.0
+    for delay, delays in program:
+        spawn_at += delay
+        slowest = max(slowest, spawn_at + sum(delays))
+    assert end == max(times)
+    assert abs(max(times) - slowest) < 1e-9 * max(1.0, slowest)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 20), min_size=1, max_size=8),
+    st.integers(1, 3),
+)
+def test_resource_conservation(durations, capacity):
+    """Never more than `capacity` concurrent holders, no lost grants."""
+    from repro.sim.resources import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+    served = [0]
+
+    def user(d):
+        req = yield from res.acquire()
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        yield env.timeout(d)
+        active[0] -= 1
+        served[0] += 1
+        res.release(req)
+
+    for d in durations:
+        env.process(user(d))
+    env.run()
+    assert served[0] == len(durations)
+    assert peak[0] <= capacity
+    assert res.count == 0 and res.queue_length == 0

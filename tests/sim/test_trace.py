@@ -1,0 +1,69 @@
+"""Event tracing."""
+
+import io
+
+from repro.sim.kernel import Environment
+from repro.sim.trace import Tracer
+
+
+def test_records_processed_events(env):
+    with Tracer(env) as tracer:
+        def proc():
+            yield env.timeout(5)
+            yield env.timeout(5)
+
+        env.process(proc())
+        env.run()
+    counts = tracer.counts()
+    assert counts.get("Timeout") == 2
+    assert counts.get("Process") == 1
+
+
+def test_uninstall_stops_recording(env):
+    tracer = Tracer(env).install()
+    env.timeout(1)
+    env.run()
+    n = len(tracer.records)
+    tracer.uninstall()
+    env.timeout(1)
+    env.run()
+    assert len(tracer.records) == n
+
+
+def test_stream_output(env):
+    buf = io.StringIO()
+    with Tracer(env, stream=buf):
+        env.timeout(3)
+        env.run()
+    assert "Timeout" in buf.getvalue()
+
+
+def test_limit_bounds_memory(env):
+    with Tracer(env, limit=10) as tracer:
+        for _ in range(50):
+            env.timeout(1)
+        env.run()
+    assert len(tracer.records) <= 11
+
+
+def test_tracer_over_a_store_run(env):
+    """The tracer attaches to a full store simulation without
+    perturbing results, and sees the event mix."""
+    import sys
+
+    sys.path.insert(0, ".")
+    from tests.conftest import run1, small_store
+
+    setup = small_store("ca", env)
+    c = setup.client()
+
+    def work():
+        yield from c.put(b"key-00000000trce", b"x" * 64)
+        return (yield from c.get(b"key-00000000trce", size_hint=64))
+
+    with Tracer(env) as tracer:
+        value = run1(env, work())
+    assert value == b"x" * 64
+    counts = tracer.counts()
+    assert counts.get("Timeout", 0) > 5  # verb/handler stages
+    assert counts.get("Process", 0) >= 1

@@ -1,0 +1,88 @@
+"""Capacity-limit behaviour: pool exhaustion and index overflow surface
+as clean faults at the client, never as corruption."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.rdma.rpc import RpcFault
+from repro.sim.kernel import Environment
+from tests.conftest import run1, small_store
+
+
+def _key(i):
+    return f"key-{i:012d}".encode()
+
+
+def test_pool_exhaustion_faults_the_put(env):
+    # pool fits only a handful of 1 KiB objects
+    setup = small_store("efactory", env, pool_size=8192)
+    c = setup.client()
+
+    def work():
+        for i in range(10):
+            yield from c.put(_key(i), b"x" * 1024)
+
+    with pytest.raises((RpcFault, StoreError)):
+        run1(env, work())
+
+
+def test_pool_exhaustion_leaves_existing_data_readable(env):
+    setup = small_store("efactory", env, pool_size=8192)
+    c = setup.client()
+    stored = []
+
+    def work():
+        for i in range(10):
+            try:
+                yield from c.put(_key(i), b"x" * 1024)
+                stored.append(i)
+            except (RpcFault, StoreError):
+                break
+        # everything acknowledged before exhaustion still reads back
+        for i in stored:
+            value = yield from c.get(_key(i), size_hint=1024)
+            assert value == b"x" * 1024
+
+    run1(env, work())
+    assert stored  # at least one object fit
+
+
+def test_cleaning_recovers_space_for_new_writes(env):
+    """Exhaustion from stale versions is exactly what cleaning fixes."""
+    setup = small_store("efactory", env, pool_size=64 * 1024)
+    server = setup.server
+    c = setup.client()
+
+    def fill():
+        # one key, many versions: pool fills with garbage
+        for v in range(300):
+            try:
+                yield from c.put(_key(0), bytes([v % 256]) * 200)
+            except (RpcFault, StoreError):
+                return v
+        return 300
+
+    wrote = run1(env, fill())
+    assert wrote < 300  # pool did exhaust
+    env.run(until=env.now + 1_000_000)
+    env.run(server.trigger_cleaning())
+
+    def more():
+        yield from c.put(_key(1), b"fresh" * 40)
+        return (yield from c.get(_key(1), size_hint=200))
+
+    assert run1(env, more()) == b"fresh" * 40
+
+
+def test_hash_overflow_faults_cleanly(env):
+    setup = small_store(
+        "efactory", env, table_buckets=2, slots_per_bucket=1, probe_limit=1
+    )
+    c = setup.client()
+
+    def work():
+        for i in range(8):
+            yield from c.put(_key(i), b"x" * 64)
+
+    with pytest.raises((RpcFault, StoreError)):
+        run1(env, work())

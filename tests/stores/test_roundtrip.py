@@ -1,0 +1,100 @@
+"""Black-box PUT/GET behaviour common to every store."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, StoreError
+from repro.sim.kernel import Environment
+from tests.conftest import ALL_STORES, run1, small_store
+
+
+@pytest.mark.parametrize("store", ALL_STORES)
+class TestRoundtrip:
+    def test_put_get(self, env, store):
+        setup = small_store(store, env)
+        c = setup.client()
+
+        def work():
+            yield from c.put(b"key-000000000001", b"hello world!")
+            return (yield from c.get(b"key-000000000001", size_hint=12))
+
+        assert run1(env, work()) == b"hello world!"
+
+    def test_update_returns_latest(self, env, store):
+        setup = small_store(store, env)
+        c = setup.client()
+
+        def work():
+            for i in range(4):
+                yield from c.put(b"key-000000000001", f"value-{i:04d}".encode())
+            return (yield from c.get(b"key-000000000001", size_hint=10))
+
+        assert run1(env, work()) == b"value-0003"
+
+    def test_many_keys(self, env, store):
+        setup = small_store(store, env)
+        c = setup.client()
+        keys = [f"user{i:012d}".encode() for i in range(40)]
+
+        def work():
+            for i, k in enumerate(keys):
+                yield from c.put(k, bytes([i]) * 32)
+            out = []
+            for i, k in enumerate(keys):
+                v = yield from c.get(k, size_hint=32)
+                out.append(v == bytes([i]) * 32)
+            return out
+
+        assert all(run1(env, work()))
+
+    def test_get_missing_key_raises(self, env, store):
+        setup = small_store(store, env)
+        c = setup.client()
+
+        def work():
+            yield from c.get(b"key-nonexistent!", size_hint=8)
+
+        with pytest.raises(StoreError):
+            run1(env, work())
+
+    def test_two_clients_see_each_other(self, env, store):
+        setup = small_store(store, env, n_clients=2)
+        a, b = setup.clients
+
+        def writer():
+            yield from a.put(b"key-000000shared", b"from-a" + b"." * 10)
+
+        def reader():
+            yield env.timeout(100_000)  # after the write (and bg settle)
+            return (yield from b.get(b"key-000000shared", size_hint=16))
+
+        env.process(writer())
+        assert run1(env, reader()) == b"from-a" + b"." * 10
+
+    def test_large_value(self, env, store):
+        setup = small_store(store, env)
+        c = setup.client()
+        value = bytes(range(256)) * 16  # 4 KiB
+
+        def work():
+            yield from c.put(b"key-00000000larg", value)
+            return (yield from c.get(b"key-00000000larg", size_hint=len(value)))
+
+        assert run1(env, work()) == value
+
+    def test_operations_advance_time(self, env, store):
+        setup = small_store(store, env)
+        c = setup.client()
+
+        def work():
+            t0 = env.now
+            yield from c.put(b"key-0000000000tt", b"x" * 64)
+            t_put = env.now - t0
+            t0 = env.now
+            yield from c.get(b"key-0000000000tt", size_hint=64)
+            t_get = env.now - t0
+            return t_put, t_get
+
+        t_put, t_get = run1(env, work())
+        # every store's ops take microseconds, not nothing and not forever
+        assert 1_000 < t_put < 100_000
+        assert 1_000 < t_get < 100_000

@@ -1,0 +1,19 @@
+"""Run the doctests embedded in module/class docstrings — they are part
+of the documentation contract."""
+
+import doctest
+
+import pytest
+
+import repro.crc.cost
+import repro.mem.layout
+import repro.sim.rng
+
+MODULES = [repro.crc.cost, repro.mem.layout, repro.sim.rng]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"

@@ -1,0 +1,65 @@
+"""The paper's §1 contribution bullets as coarse, fast integration
+checks (single-client latencies; the benchmarks assert the full
+throughput shapes).
+
+Only robust *orderings* are asserted here, never magnitudes, so these
+stay stable under recalibration.
+"""
+
+import pytest
+
+from repro.harness.runner import RunSpec, run_experiment
+from repro.workloads.ycsb import update_only, ycsb_c
+
+
+def _median(store, workload, kind, size):
+    result = run_experiment(
+        RunSpec(
+            store=store,
+            workload=workload(value_len=size, key_count=64),
+            n_clients=1,
+            ops_per_client=80,
+            warmup_ops=10,
+        )
+    )
+    return result.latency.median(kind)
+
+
+class TestClaim1_DurableWritesLoseToRpc:
+    """'existing remote crash consistency schemes either lose write
+    performance advantage over RPCs...'"""
+
+    def test_saw_and_imm_slower_than_ca_at_4k(self):
+        ca = _median("ca", update_only, "put", 4096)
+        assert _median("saw", update_only, "put", 4096) > 1.5 * ca
+        assert _median("imm", update_only, "put", 4096) > 1.3 * ca
+
+
+class TestClaim2_CrcOnReadPathHurts:
+    """'...or maintain write performance at the cost of reading
+    performance.'"""
+
+    def test_erda_forca_reads_slower_than_efactory_at_4k(self):
+        ef = _median("efactory", ycsb_c, "get", 4096)
+        assert _median("erda", ycsb_c, "get", 4096) > 1.5 * ef
+        assert _median("forca", ycsb_c, "get", 4096) > 2.0 * ef
+
+    def test_gap_negligible_at_64b(self):
+        """Footnote 2: at small values Erda ~ eFactory."""
+        ef = _median("efactory", ycsb_c, "get", 64)
+        erda = _median("erda", ycsb_c, "get", 64)
+        assert erda < 1.25 * ef
+
+
+class TestClaim3_EFactoryHasBothFast:
+    def test_put_tracks_the_unsafe_baseline(self):
+        """Client-active + async durability: eFactory's PUT costs about
+        what CA's does (the CRC overlaps the allocation RTT)."""
+        ca = _median("ca", update_only, "put", 1024)
+        ef = _median("efactory", update_only, "put", 1024)
+        assert ef < 1.25 * ca
+
+    def test_get_tracks_the_verification_free_readers(self):
+        imm = _median("imm", ycsb_c, "get", 1024)
+        ef = _median("efactory", ycsb_c, "get", 1024)
+        assert ef < 1.1 * imm
