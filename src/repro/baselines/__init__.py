@@ -5,6 +5,7 @@ from repro.baselines.base import (
     BaseServer,
     ClientSession,
     ObjectLocation,
+    Partition,
     StoreConfig,
 )
 from repro.baselines.ca import CAClient, CAServer, ca_config
@@ -31,6 +32,7 @@ __all__ = [
     "IMMClient",
     "IMMServer",
     "ObjectLocation",
+    "Partition",
     "RpcStoreClient",
     "RpcStoreServer",
     "SAWClient",

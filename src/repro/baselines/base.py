@@ -8,12 +8,16 @@ that code base. It provides:
   knobs (what work happens on which CPU, and whether metadata is
   persisted synchronously);
 * :class:`BaseServer` — node + NVM carve-up (hash table region, one or
-  two log pools), the SEND-based-RPC dispatch loop, the shared
-  *allocation* path of the client-active PUT (§4.3.1 steps 1–4), and
-  session management;
+  two log pools per partition), the SEND-based-RPC dispatch loop, and
+  session management.  The server is a composition of
+  :class:`~repro.baselines.partition.Partition` objects behind a
+  deterministic key→partition router; the default ``num_partitions=1``
+  reproduces the paper's single-threaded server exactly;
 * :class:`BaseClient` — connection setup (obtaining rkeys and geometry,
   §4.3), the client half of the client-active PUT, pure-RDMA GET
-  helpers, and the notification mailbox used by log cleaning.
+  helpers (partition-aware: the route is computed locally from the key
+  fingerprint, so sharding costs no extra round trip), and the
+  notification mailbox used by log cleaning.
 
 Concrete stores subclass these and register/override handlers.
 """
@@ -24,6 +28,7 @@ from collections.abc import Generator
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
+from repro.baselines.partition import ObjectLocation, Partition
 from repro.crc.cost import CrcCostModel
 from repro.crc.crc32 import crc32_fast
 from repro.errors import ConfigError, KeyNotFoundError, StoreError
@@ -33,18 +38,13 @@ from repro.kv.hashtable import (
     Slot,
     client_lookup_bucket,
     key_fingerprint,
+    partition_of_fp,
 )
 from repro.kv.logpool import LogPool
 from repro.kv.objects import (
-    FLAG_DURABLE,
     FLAG_VALID,
     HEADER_SIZE,
-    NULL_PTR,
-    OBJECT_HEADER,
     ObjectImage,
-    build_header,
-    object_size,
-    pack_ptr,
     parse_object,
 )
 from repro.nvm.device import NVMDevice, NVMTiming
@@ -58,6 +58,7 @@ from repro.sim.kernel import Environment, Event
 __all__ = [
     "StoreConfig",
     "ObjectLocation",
+    "Partition",
     "ClientSession",
     "BaseServer",
     "BaseClient",
@@ -92,6 +93,9 @@ class StoreConfig:
     probe_limit: int = 4
     hopscotch_neighborhood: int = 8  # Erda only
 
+    # partitioning (1 = the paper's single-threaded server, bit-for-bit)
+    num_partitions: int = 1
+
     # server resources
     server_cores: int = 4
     dispatch_ns: float = 400.0
@@ -104,6 +108,10 @@ class StoreConfig:
     header_write_ns: float = 60.0
     entry_update_ns: float = 20.0
     meta_indirection_ns: float = 0.0  # Forca's extra metadata layer
+    #: CPU cost of peeking an object's header/flags before deciding
+    #: (shared by the GET handler's version walk and the background
+    #: verifier).
+    peek_ns: float = 80.0
 
     # scheme switches
     persist_meta: bool = False  # flush header+entry inside the alloc handler
@@ -128,6 +136,13 @@ class StoreConfig:
             raise ConfigError("server_cores must be >= 1")
         if not 0.0 <= self.reserve_fraction < 1.0:
             raise ConfigError("reserve_fraction must be in [0, 1)")
+        if self.num_partitions < 1:
+            raise ConfigError("num_partitions must be >= 1")
+        if self.table_buckets % self.num_partitions != 0:
+            raise ConfigError(
+                "table_buckets must be divisible by num_partitions "
+                f"({self.table_buckets} % {self.num_partitions} != 0)"
+            )
 
     def with_(self, **kw: Any) -> "StoreConfig":
         """A copy with fields replaced (convenience for experiments)."""
@@ -141,39 +156,45 @@ class StoreConfig:
             probe_limit=self.probe_limit,
         )
 
-
-@dataclass(frozen=True)
-class ObjectLocation:
-    """Where an object lives: pool id, pool-relative offset, total size."""
-
-    pool: int
-    offset: int
-    size: int
-
     @property
-    def slot(self) -> Slot:
-        return Slot(pool=self.pool, size=self.size, offset=self.offset)
+    def partition_geometry(self) -> HashTableGeometry:
+        """The geometry of one partition's table segment (== ``geometry``
+        when unpartitioned)."""
+        return HashTableGeometry(
+            n_buckets=self.table_buckets // self.num_partitions,
+            slots_per_bucket=self.slots_per_bucket,
+            probe_limit=self.probe_limit,
+        )
 
 
 @dataclass
 class ClientSession:
     """What a client learns at connection setup (§4.3): region rkeys,
-    table geometry, and a reply path for server-initiated notifications."""
+    table geometry, the partition map, and a reply path for
+    server-initiated notifications."""
 
     session_id: int
     table_rkey: int
-    pool_rkeys: tuple[int, ...]
-    geometry: HashTableGeometry
+    pool_rkeys: tuple[int, ...]  # partition 0 (compat shortcut)
+    geometry: HashTableGeometry  # one partition's table segment
     server_ep: Endpoint  # server-side endpoint toward the client
+    num_partitions: int = 1
+    #: Table-MR-relative base offset of each partition's segment.
+    partition_table_offsets: tuple[int, ...] = (0,)
+    #: Per-partition pool rkeys: ``[part][pool]``.
+    partition_pool_rkeys: tuple[tuple[int, ...], ...] = ()
 
 
 class BaseServer:
-    """Common server core: memory carve-up, RPC loop, allocation path."""
+    """Common server core: memory carve-up, RPC loop, partition router."""
 
     store_name = "base"
     #: Whether the alloc handler publishes the hash entry immediately
     #: (client-active schemes) or defers to durability (IMM/SAW).
     publish_on_alloc = True
+    #: Whether this scheme's index can be sharded (Erda's hopscotch
+    #: table displaces entries across the whole array and cannot).
+    supports_partitions = True
 
     def __init__(
         self,
@@ -186,61 +207,121 @@ class BaseServer:
         self.fabric = fabric
         self.config = config or StoreConfig()
         cfg = self.config
+        n_parts = cfg.num_partitions
+        if n_parts > 1 and not self.supports_partitions:
+            raise ConfigError(
+                f"store {self.store_name!r} does not support num_partitions > 1"
+            )
 
         table_bytes = self._table_bytes()
         n_pools = 2 if cfg.dual_pools else 1
-        device_size = _align(table_bytes, 4096) + n_pools * _align(cfg.pool_size, 4096)
+        device_size = _align(table_bytes, 4096) + n_parts * n_pools * _align(
+            cfg.pool_size, 4096
+        )
         self.device = NVMDevice(env, device_size, timing=cfg.nvm_timing, name=f"{name}.nvm")
         self.node: Node = fabric.create_node(
-            name, device=self.device, cores=cfg.server_cores, ddio=cfg.ddio
+            name, device=self.device, cores=cfg.server_cores * n_parts, ddio=cfg.ddio
         )
 
         # -- memory carve-up ------------------------------------------------
-        self.table = self._make_table()
+        # One table MR covering every partition's segment (clients READ
+        # any bucket through it); per-partition pools laid out after it.
         self.table_mr: MemoryRegion = self.node.register_memory(
             0, table_bytes, writable=False, name=f"{name}.table"
         )
-        self.pools: list[LogPool] = []
-        self.pool_mrs: list[MemoryRegion] = []
+        self.partitions: list[Partition] = []
         base = _align(table_bytes, 4096)
-        for pid in range(n_pools):
-            pool = LogPool(
-                self.device,
-                base,
-                cfg.pool_size,
-                pool_id=pid,
-                reserve_fraction=cfg.reserve_fraction,
-            )
-            self.pools.append(pool)
-            self.pool_mrs.append(
-                self.node.register_memory(
-                    base, cfg.pool_size, writable=True, name=f"{name}.pool{pid}"
+        budget = cfg.server_cores if n_parts > 1 else None
+        for part_id in range(n_parts):
+            pools: list[LogPool] = []
+            pool_mrs: list[MemoryRegion] = []
+            for pid in range(n_pools):
+                pool = LogPool(
+                    self.device,
+                    base,
+                    cfg.pool_size,
+                    pool_id=pid,
+                    reserve_fraction=cfg.reserve_fraction,
+                )
+                pools.append(pool)
+                mr_name = (
+                    f"{name}.pool{pid}"
+                    if n_parts == 1
+                    else f"{name}.p{part_id}.pool{pid}"
+                )
+                pool_mrs.append(
+                    self.node.register_memory(
+                        base, cfg.pool_size, writable=True, name=mr_name
+                    )
+                )
+                base += _align(cfg.pool_size, 4096)
+            self.partitions.append(
+                Partition(
+                    self,
+                    part_id,
+                    self._make_table(part_id),
+                    pools,
+                    pool_mrs,
+                    cpu_budget=budget,
                 )
             )
-            base += _align(cfg.pool_size, 4096)
-
-        #: Pool receiving new writes (log cleaning redirects this).
-        self.write_pool_id = 0
 
         self.rpc = RpcServer(
             env,
             self.node,
             dispatch_ns=cfg.dispatch_ns,
-            concurrent_handlers=cfg.server_cores,
+            concurrent_handlers=cfg.server_cores * n_parts,
         )
         self.sessions: list[ClientSession] = []
         self._session_ids = iter(range(1, 1 << 30))
         self._alloc_ids = iter(range(1, 1 << 62))
-        #: Outstanding allocations (IMM/SAW persist-on-completion need them).
-        self.pending_allocs: dict[int, ObjectLocation] = {}
+        #: Outstanding allocations (IMM/SAW persist-on-completion need
+        #: them): alloc_id -> (loc, entry_off, klen, partition).
+        self.pending_allocs: dict[int, tuple] = {}
         self._register_handlers()
 
-    # -- index construction (Erda overrides with hopscotch) ---------------------
+    # -- index construction (Erda overrides with hopscotch) -----------------
     def _table_bytes(self) -> int:
         return self.config.geometry.table_bytes
 
-    def _make_table(self) -> Any:
-        return NvmHashTable(self.device, 0, self.config.geometry)
+    def _make_table(self, part: int = 0) -> Any:
+        geom = self.config.partition_geometry
+        return NvmHashTable(self.device, part * geom.table_bytes, geom)
+
+    # -- the partition router -----------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_for_fp(self, fp: int) -> Partition:
+        return self.partitions[partition_of_fp(fp, len(self.partitions))]
+
+    def partition_for_key(self, key: bytes) -> Partition:
+        return self.partition_for_fp(key_fingerprint(key))
+
+    # -- partition-0 compatibility views -------------------------------------
+    # The monolith's attributes remain valid names for the first (and,
+    # by default, only) partition, so single-partition code and tests
+    # read exactly the state they always did.
+    @property
+    def table(self) -> Any:
+        return self.partitions[0].table
+
+    @property
+    def pools(self) -> list[LogPool]:
+        return self.partitions[0].pools
+
+    @property
+    def pool_mrs(self) -> list[MemoryRegion]:
+        return self.partitions[0].pool_mrs
+
+    @property
+    def write_pool_id(self) -> int:
+        return self.partitions[0].write_pool_id
+
+    @write_pool_id.setter
+    def write_pool_id(self, pool_id: int) -> None:
+        self.partitions[0].write_pool_id = pool_id
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -251,43 +332,57 @@ class BaseServer:
 
     def connect_client(self, client_node: Node) -> tuple[Endpoint, ClientSession]:
         """Connection setup: returns the client-side endpoint and the
-        session metadata (rkeys, geometry) the server hands over."""
+        session metadata (rkeys, geometry, partition map) the server
+        hands over."""
         ep = self.fabric.connect(client_node, self.node)
         assert ep.peer is not None
         session = ClientSession(
             session_id=next(self._session_ids),
             table_rkey=self.table_mr.rkey,
-            pool_rkeys=tuple(mr.rkey for mr in self.pool_mrs),
-            geometry=self.config.geometry,
+            pool_rkeys=tuple(mr.rkey for mr in self.partitions[0].pool_mrs),
+            geometry=self.config.partition_geometry,
             server_ep=ep.peer,
+            num_partitions=len(self.partitions),
+            partition_table_offsets=tuple(
+                getattr(p.table, "base", 0) for p in self.partitions
+            ),
+            partition_pool_rkeys=tuple(
+                tuple(mr.rkey for mr in p.pool_mrs) for p in self.partitions
+            ),
         )
         self.sessions.append(session)
         return ep, session
 
-    # -- handler registry --------------------------------------------------------
+    # -- handler registry ------------------------------------------------------
     def _register_handlers(self) -> None:
         """Subclasses register their RPC handlers here."""
         self.rpc.register("alloc", self._handle_alloc)
 
-    # -- the shared allocation path (client-active PUT, steps 2-4) ---------------
+    # -- the shared allocation path (client-active PUT, steps 2-4) -------------
     def _handle_alloc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         p = msg.payload
+        part = self.partition_for_key(p["key"])
+        budget = yield from part.acquire_budget()
         try:
-            loc, entry_off = yield from self.alloc_object(
-                p["key"], p["vlen"], p.get("crc", 0), publish=self.publish_on_alloc
+            try:
+                loc, entry_off = yield from part.alloc_object(
+                    p["key"], p["vlen"], p.get("crc", 0), publish=self.publish_on_alloc
+                )
+            except StoreError as exc:
+                return rpc_error(str(exc)), RESPONSE_BYTES
+            self.pending_allocs[p["alloc_id"]] = (loc, entry_off, len(p["key"]), part)
+            return (
+                {
+                    "pool": loc.pool,
+                    "value_off": loc.offset + HEADER_SIZE + len(p["key"]),
+                    "obj_off": loc.offset,
+                    "size": loc.size,
+                    "part": part.part_id,
+                },
+                RESPONSE_BYTES,
             )
-        except StoreError as exc:
-            return rpc_error(str(exc)), RESPONSE_BYTES
-        self.pending_allocs[p["alloc_id"]] = (loc, entry_off, len(p["key"]))
-        return (
-            {
-                "pool": loc.pool,
-                "value_off": loc.offset + HEADER_SIZE + len(p["key"]),
-                "obj_off": loc.offset,
-                "size": loc.size,
-            },
-            RESPONSE_BYTES,
-        )
+        finally:
+            part.release_budget(budget)
 
     def alloc_object(
         self,
@@ -298,93 +393,33 @@ class BaseServer:
         publish: bool = True,
         flags: int = FLAG_VALID,
     ) -> Generator[Event, Any, tuple[ObjectLocation, int]]:
-        """Allocate + write header/key (+ index update when ``publish``).
-
-        Runs inside a request handler (CPU already held). Returns the
-        location and the hash-entry offset. ``publish=False`` defers the
-        index update (IMM/SAW publish only after the data is durable).
-        """
-        cfg = self.config
-        env = self.env
-        pool = self.pools[self.write_pool_id]
-        size = object_size(len(key), vlen)
-        yield env.timeout(cfg.alloc_ns)
-        offset = pool.allocate(size)
-        loc = ObjectLocation(pool=pool.pool_id, offset=offset, size=size)
-
-        # previous-version link (the version list, §4.2.2)
-        fp = key_fingerprint(key)
-        yield env.timeout(cfg.index_ns)
-        entry_off = self.table.find_or_create(fp)
-        prev = self.table.read_cur(entry_off)
-        pre_ptr = pack_ptr(prev.pool, prev.offset) if prev is not None else NULL_PTR
-
-        header = build_header(
-            flags=flags,
-            klen=len(key),
-            vlen=vlen,
-            crc=crc,
-            pre_ptr=pre_ptr,
-            ts=int(env.now),
+        """Allocate on the key's partition (see
+        :meth:`repro.baselines.partition.Partition.alloc_object`)."""
+        part = self.partition_for_key(key)
+        return (
+            yield from part.alloc_object(key, vlen, crc, publish=publish, flags=flags)
         )
-        yield env.timeout(cfg.header_write_ns + cfg.meta_indirection_ns)
-        pool.write(offset, header + key)
 
-        # Forward link (§4.2.2 NextPTR): lets the log cleaner find "the
-        # next version of the migrated current version". One atomic
-        # 8-byte store into the previous version's header.
-        if prev is not None:
-            nxt_field = OBJECT_HEADER.offset_of("nxt_ptr")
-            self.device.write_atomic64(
-                self.pools[prev.pool].abs_addr(prev.offset) + nxt_field,
-                OBJECT_HEADER.pack_field(
-                    "nxt_ptr", pack_ptr(pool.pool_id, offset)
-                ),
-            )
+    def on_allocated(self, part: Partition, loc: ObjectLocation, entry_off: int) -> None:
+        """Subclass hook (eFactory feeds its background verifier)."""
 
-        # Ordering matters for recoverability (§4.3.1: "after all the
-        # metadata has been updated and persisted"): the header must be
-        # durable *before* the hash entry can point at it — otherwise a
-        # crash could naturally evict the entry update while losing the
-        # header, severing the version list below an intact version.
-        if cfg.persist_meta:
-            yield from self.persist_header(loc, len(key))
-        if publish:
-            yield from self.publish_object(entry_off, loc)
-        if cfg.persist_meta:
-            yield from self.persist_entry_timed(entry_off)
-        self.on_allocated(loc, entry_off)
-        return loc, entry_off
-
+    # -- partition-0 object helpers (compat; core code uses Partition) ---------
     def publish_object(
         self, entry_off: int, loc: ObjectLocation
     ) -> Generator[Event, Any, None]:
-        """Make the hash entry point at the object (one atomic store)."""
-        yield self.env.timeout(self.config.entry_update_ns)
-        self.table.set_cur(entry_off, loc.slot)
+        yield from self.partitions[0].publish_object(entry_off, loc)
 
     def persist_header(
         self, loc: ObjectLocation, klen: int
     ) -> Generator[Event, Any, None]:
-        """Flush the object header + key (before any entry exposes it)."""
-        t = self.config.nvm_timing
-        meta_len = HEADER_SIZE + klen
-        yield self.env.timeout(t.flush_cost(meta_len))
-        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), meta_len)
+        yield from self.partitions[0].persist_header(loc, klen)
 
     def persist_entry_timed(self, entry_off: int) -> Generator[Event, Any, None]:
-        """Flush the hash entry's line (one CLWB + fence)."""
-        t = self.config.nvm_timing
-        yield self.env.timeout(t.flush_line_ns + t.fence_ns)
-        self.table.persist_entry(entry_off)
+        yield from self.partitions[0].persist_entry_timed(entry_off)
 
-    def on_allocated(self, loc: ObjectLocation, entry_off: int) -> None:
-        """Subclass hook (eFactory feeds its background verifier)."""
-
-    # -- shared object helpers -----------------------------------------------------
     def read_object(self, loc: ObjectLocation) -> ObjectImage:
         """Instant state read of an object (timing charged by caller)."""
-        return parse_object(self.pools[loc.pool].read(loc.offset, loc.size))
+        return self.partitions[0].read_object(loc)
 
     def object_value_ok(self, img: ObjectImage) -> bool:
         """Functional CRC verification (the *time* is charged by caller
@@ -396,27 +431,20 @@ class BaseServer:
         )
 
     def persist_object(self, loc: ObjectLocation) -> Generator[Event, Any, None]:
-        """Timed flush of a whole object."""
-        pool = self.pools[loc.pool]
-        yield from self.device.persist(pool.abs_addr(loc.offset), loc.size)
+        yield from self.partitions[0].persist_object(loc)
 
     def set_object_flags(self, loc: ObjectLocation, flags: int) -> None:
-        """Instant single-byte flag store (offset 2 in the header)."""
-        pool = self.pools[loc.pool]
-        pool.write(loc.offset + 2, bytes([flags]))
+        self.partitions[0].set_object_flags(loc, flags)
 
     def mark_durable(self, loc: ObjectLocation, img: ObjectImage) -> None:
-        self.set_object_flags(loc, img.flags | FLAG_DURABLE)
-        # the flag itself must be durable before pure-RDMA readers trust it
-        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), 8)
+        self.partitions[0].mark_durable(loc, img)
 
     def lookup_slot(self, key: bytes) -> Optional[tuple[int, Optional[Slot], Optional[Slot]]]:
-        """(entry_off, cur, alt) for ``key`` or None (state only)."""
-        fp = key_fingerprint(key)
-        entry_off = self.table.find(fp)
-        if entry_off is None:
-            return None
-        return entry_off, self.table.read_cur(entry_off), self.table.read_alt(entry_off)
+        """(entry_off, cur, alt) for ``key`` on its partition (state only)."""
+        return self.partition_for_key(key).lookup_slot(key)
+
+    def _previous_location(self, loc: ObjectLocation) -> Optional[ObjectLocation]:
+        return self.partitions[0].previous_location(loc)
 
 
 class BaseClient:
@@ -431,8 +459,8 @@ class BaseClient:
         self.rpc = RpcClient(self.ep)
         self.config = server.config
         self._alloc_counter = 0
-        #: Set while the server performs log cleaning (notifications).
-        self.cleaning_mode = False
+        #: Partitions currently running log cleaning (notifications).
+        self._cleaning_parts: set[int] = set()
         #: Dedicated notification listener — the client library "thread"
         #: that reacts to log-cleaning notices even while the app is
         #: idle, and acks promptly so the cleaner is never stalled.
@@ -448,7 +476,26 @@ class BaseClient:
             self._alloc_counter & 0xFFFFFF
         )
 
-    # -- notifications (log cleaning, §4.4) -------------------------------------
+    # -- the client half of the partition router --------------------------------
+    def partition_of(self, fp: int) -> int:
+        """Route a fingerprint locally — no server round trip."""
+        return partition_of_fp(fp, self.session.num_partitions)
+
+    def _pool_rkey(self, part: int, pool: int) -> int:
+        if self.session.partition_pool_rkeys:
+            return self.session.partition_pool_rkeys[part][pool]
+        return self.session.pool_rkeys[pool]
+
+    # -- notifications (log cleaning, §4.4) --------------------------------------
+    @property
+    def cleaning_mode(self) -> bool:
+        """True while *any* partition is cleaning (partition-aware code
+        should test membership in ``_cleaning_parts`` instead)."""
+        return bool(self._cleaning_parts)
+
+    def partition_cleaning(self, part: int) -> bool:
+        return part in self._cleaning_parts
+
     @staticmethod
     def _is_cleaning_notice(msg: Message) -> bool:
         return (
@@ -476,11 +523,14 @@ class BaseClient:
 
     def _handle_cleaning_notice(self, msg: Message) -> Generator[Event, Any, None]:
         state = msg.payload["state"]
+        part = msg.payload.get("part", 0)
         if state == "start":
-            self.cleaning_mode = True
-            yield from self.ep.send({"op": "cleaning_ack"}, 24, in_reply_to=msg.req_id)
+            self._cleaning_parts.add(part)
+            yield from self.ep.send(
+                {"op": "cleaning_ack", "part": part}, 24, in_reply_to=msg.req_id
+            )
         elif state == "finish":
-            self.cleaning_mode = False
+            self._cleaning_parts.discard(part)
 
     # -- client-active PUT (§4.3.1) ----------------------------------------------
     def put_client_active(
@@ -517,31 +567,36 @@ class BaseClient:
         return resp
 
     def write_value(self, alloc_resp: dict, value: bytes) -> Generator[Event, Any, None]:
-        rkey = self.session.pool_rkeys[alloc_resp["pool"]]
+        rkey = self._pool_rkey(alloc_resp.get("part", 0), alloc_resp["pool"])
         yield from self.ep.write(rkey, alloc_resp["value_off"], value)
 
     # -- pure-RDMA GET helpers (steps 1-4 of Figure 6) ---------------------------
     def read_bucket(self, key: bytes) -> Generator[Event, Any, tuple[int, Optional[tuple]]]:
-        """READ the home bucket; returns (fp, (cur, alt) or None)."""
+        """READ the home bucket (on the key's partition segment);
+        returns (fp, (cur, alt) or None)."""
         fp = key_fingerprint(key)
+        part = self.partition_of(fp)
         geom = self.session.geometry
         raw = yield from self.ep.read(
             self.session.table_rkey,
-            geom.bucket_offset(geom.bucket_of(fp)),
+            self.session.partition_table_offsets[part]
+            + geom.bucket_offset(geom.bucket_of(fp)),
             geom.bucket_bytes,
         )
         return fp, client_lookup_bucket(raw, fp, geom)
 
-    def read_object_at(self, slot: Slot) -> Generator[Event, Any, ObjectImage]:
+    def read_object_at(
+        self, slot: Slot, part: int = 0
+    ) -> Generator[Event, Any, ObjectImage]:
         raw = yield from self.ep.read(
-            self.session.pool_rkeys[slot.pool], slot.offset, slot.size
+            self._pool_rkey(part, slot.pool), slot.offset, slot.size
         )
         return parse_object(raw)
 
     def read_object_loc(
-        self, pool: int, offset: int, size: int
+        self, pool: int, offset: int, size: int, part: int = 0
     ) -> Generator[Event, Any, ObjectImage]:
-        raw = yield from self.ep.read(self.session.pool_rkeys[pool], offset, size)
+        raw = yield from self.ep.read(self._pool_rkey(part, pool), offset, size)
         return parse_object(raw)
 
     # -- interface -------------------------------------------------------------

@@ -42,14 +42,14 @@ class CAClient(BaseClient):
     def get(
         self, key: bytes, size_hint: Optional[int] = None
     ) -> Generator[Event, Any, bytes]:
-        _fp, slots = yield from self.read_bucket(key)
+        fp, slots = yield from self.read_bucket(key)
         if slots is None:
             raise KeyNotFoundError(f"key {key!r} not indexed")
         cur, alt = slots
         slot = cur or alt
         if slot is None:
             raise KeyNotFoundError(f"key {key!r} has no published version")
-        img = yield from self.read_object_at(slot)
+        img = yield from self.read_object_at(slot, self.partition_of(fp))
         self._check_found(img, key)
         # No durability or integrity verification — by design.
         return img.value

@@ -56,11 +56,14 @@ class ErdaServer(BaseServer):
     """Hopscotch-indexed server; allocation publishes immediately."""
 
     store_name = "erda"
+    #: The hopscotch neighborhood spans bucket ranges, so the index has
+    #: no clean segment boundary to shard on.
+    supports_partitions = False
 
     def _table_bytes(self) -> int:
         return self.config.table_buckets * ERDA_ENTRY_SIZE
 
-    def _make_table(self) -> HopscotchTable:
+    def _make_table(self, part: int = 0) -> HopscotchTable:
         return HopscotchTable(
             self.device,
             0,

@@ -53,41 +53,47 @@ class ForcaServer(BaseServer):
     def _handle_get_loc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         cfg = self.config
         key: bytes = msg.payload["key"]
-        yield self.env.timeout(cfg.index_ns + cfg.meta_indirection_ns)
-        found = self.lookup_slot(key)
-        if found is None:
-            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
-        _entry_off, cur, _alt = found
-        if cur is None:
-            return rpc_error(f"key {key!r} has no version"), RESPONSE_BYTES
+        part = self.partition_for_key(key)
+        budget = yield from part.acquire_budget()
+        try:
+            yield self.env.timeout(cfg.index_ns + cfg.meta_indirection_ns)
+            found = part.lookup_slot(key)
+            if found is None:
+                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+            _entry_off, cur, _alt = found
+            if cur is None:
+                return rpc_error(f"key {key!r} has no version"), RESPONSE_BYTES
 
-        loc: Optional[ObjectLocation] = ObjectLocation(
-            pool=cur.pool, offset=cur.offset, size=cur.size
-        )
-        while loc is not None:
-            img = self.read_object(loc)
-            # Forca verifies by CRC on *every* read (no durability flag).
-            yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
-            if img.well_formed and img.key == key and self.object_value_ok(img):
-                # ... and persists on the read path before returning.
-                # (No durability flag — Forca re-verifies every read;
-                # that absence is the design gap eFactory closes.)
-                yield from self.persist_object(loc)
-                return (
-                    {"pool": loc.pool, "offset": loc.offset, "size": loc.size},
-                    RESPONSE_BYTES,
-                )
-            loc = self._previous_location(img)
-        return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+            loc: Optional[ObjectLocation] = ObjectLocation(
+                pool=cur.pool, offset=cur.offset, size=cur.size
+            )
+            while loc is not None:
+                img = part.read_object(loc)
+                # Forca verifies by CRC on *every* read (no durability flag).
+                yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+                if img.well_formed and img.key == key and part.object_value_ok(img):
+                    # ... and persists on the read path before returning.
+                    # (No durability flag — Forca re-verifies every read;
+                    # that absence is the design gap eFactory closes.)
+                    yield from part.persist_object(loc)
+                    return (
+                        {"pool": loc.pool, "offset": loc.offset,
+                         "size": loc.size, "part": part.part_id},
+                        RESPONSE_BYTES,
+                    )
+                loc = self._previous_location(part, img)
+            return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+        finally:
+            part.release_budget(budget)
 
-    def _previous_location(self, img) -> Optional[ObjectLocation]:
+    def _previous_location(self, part, img) -> Optional[ObjectLocation]:
         prev = unpack_ptr(img.pre_ptr) if img.well_formed else None
         if prev is None:
             return None
         pool_id, offset = prev
         # Size the previous version from its own header (state read; the
         # walk's timing is dominated by the CRC charges above).
-        hdr = parse_header(self.pools[pool_id].read(offset, HEADER_SIZE))
+        hdr = parse_header(part.pools[pool_id].read(offset, HEADER_SIZE))
         if hdr is None:
             return None  # header itself torn: cannot even size the object
         return ObjectLocation(
@@ -106,7 +112,7 @@ class ForcaClient(BaseClient):
             {"op": "get_loc", "key": key}, GET_REQUEST_OVERHEAD + len(key)
         )
         img = yield from self.read_object_loc(
-            resp["pool"], resp["offset"], resp["size"]
+            resp["pool"], resp["offset"], resp["size"], resp.get("part", 0)
         )
         self._check_found(img, key)
         return img.value

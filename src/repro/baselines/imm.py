@@ -51,14 +51,18 @@ class IMMServer(BaseServer):
         pending = self.pending_allocs.pop(msg.imm, None)
         if pending is None:
             return None
-        loc, entry_off, _klen = pending
-        # Flag before flushing so the durable flag never outruns the data.
-        img = self.read_object(loc)
-        self.set_object_flags(loc, img.flags | FLAG_DURABLE)
-        yield from self.persist_object(loc)
-        yield from self.publish_object(entry_off, loc)
-        yield self.env.timeout(self.config.nvm_timing.flush_cost(32))
-        self.table.persist_entry(entry_off)
+        loc, entry_off, _klen, part = pending
+        budget = yield from part.acquire_budget()
+        try:
+            # Flag before flushing so the durable flag never outruns the data.
+            img = part.read_object(loc)
+            part.set_object_flags(loc, img.flags | FLAG_DURABLE)
+            yield from part.persist_object(loc)
+            yield from part.publish_object(entry_off, loc)
+            yield self.env.timeout(self.config.nvm_timing.flush_cost(32))
+            part.table.persist_entry(entry_off)
+        finally:
+            part.release_budget(budget)
         # Acked off-CPU by the dispatch loop; the client matches on the
         # payload since it never saw this message's req_id.
         return {"ack_alloc": msg.imm}, RESPONSE_BYTES
@@ -70,7 +74,7 @@ class IMMClient(BaseClient):
         alloc_id = resp["alloc_id"]
         if alloc_id > 0xFFFFFFFF:
             raise StoreError("alloc_id no longer fits the 32-bit imm field")
-        rkey = self.session.pool_rkeys[resp["pool"]]
+        rkey = self._pool_rkey(resp.get("part", 0), resp["pool"])
         yield from self.ep.write_with_imm(
             rkey, resp["value_off"], value, imm=alloc_id
         )
@@ -83,13 +87,13 @@ class IMMClient(BaseClient):
     def get(
         self, key: bytes, size_hint: Optional[int] = None
     ) -> Generator[Event, Any, bytes]:
-        _fp, slots = yield from self.read_bucket(key)
+        fp, slots = yield from self.read_bucket(key)
         if slots is None:
             raise KeyNotFoundError(f"key {key!r} not indexed")
         cur, alt = slots
         slot = cur or alt
         if slot is None:
             raise KeyNotFoundError(f"key {key!r} has no published version")
-        img = yield from self.read_object_at(slot)
+        img = yield from self.read_object_at(slot, self.partition_of(fp))
         self._check_found(img, key)
         return img.value

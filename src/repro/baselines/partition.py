@@ -1,0 +1,276 @@
+"""One server partition: the unit of sharding in the partitioned core.
+
+The paper's eFactory server is deliberately single-threaded per node —
+one hash table, one log pool, one background verification thread
+(§4.3.2).  To give the reproduction a scaling axis the monolith lacks,
+:class:`~repro.baselines.base.BaseServer` is a composition of N
+:class:`Partition` objects behind a deterministic key→partition router
+(:func:`repro.kv.hashtable.partition_of_fp`).  Each partition models one
+server core's worth of state:
+
+* its own log pool(s) — pool ids stay partition-local, so the 1-bit
+  pool field in packed slots and every ``pre_ptr``/``nxt_ptr`` chain
+  remain valid without widening the on-media layout;
+* its own hash-table segment (a contiguous slice of the table MR, so
+  clients still resolve any key with one one-sided READ);
+* its own background-verifier cursor and log-cleaner state (attached by
+  :class:`~repro.core.server.EFactoryServer`);
+* an optional CPU dispatch budget serializing handler work per
+  partition (one core per partition; ``None`` when ``num_partitions ==
+  1`` so the single-partition event sequence is bit-for-bit the
+  monolith's).
+
+All object-path helpers that used to live on ``BaseServer`` (allocate,
+publish, persist, lookup, read) live here at partition scope;
+``BaseServer`` keeps thin partition-0 delegates for compatibility.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.crc.crc32 import crc32_fast
+from repro.kv.hashtable import Slot, key_fingerprint
+from repro.kv.objects import (
+    FLAG_DURABLE,
+    FLAG_VALID,
+    HEADER_SIZE,
+    NULL_PTR,
+    OBJECT_HEADER,
+    ObjectImage,
+    build_header,
+    object_size,
+    pack_ptr,
+    parse_header,
+    parse_object,
+    unpack_ptr,
+)
+from repro.sim.kernel import Event
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.baselines.base import BaseServer
+    from repro.kv.logpool import LogPool
+    from repro.rdma.mr import MemoryRegion
+
+__all__ = ["ObjectLocation", "Partition"]
+
+
+@dataclass(frozen=True)
+class ObjectLocation:
+    """Where an object lives: pool id, pool-relative offset, total size.
+
+    Pool ids are partition-local; an :class:`ObjectLocation` is only
+    meaningful together with the partition that owns the pools.
+    """
+
+    pool: int
+    offset: int
+    size: int
+
+    @property
+    def slot(self) -> Slot:
+        return Slot(pool=self.pool, size=self.size, offset=self.offset)
+
+
+class Partition:
+    """State and object-path operations of one server shard."""
+
+    def __init__(
+        self,
+        server: "BaseServer",
+        part_id: int,
+        table: Any,
+        pools: "list[LogPool]",
+        pool_mrs: "list[MemoryRegion]",
+        *,
+        cpu_budget: Optional[int] = None,
+    ) -> None:
+        self.server = server
+        self.env = server.env
+        self.part_id = part_id
+        self.table = table
+        self.pools = pools
+        self.pool_mrs = pool_mrs
+        #: Pool receiving new writes (log cleaning redirects this).
+        self.write_pool_id = 0
+        #: Set while this partition's log cleaner runs a cycle.
+        self.cleaning_active = False
+        #: Attached by EFactoryServer (None for the other schemes).
+        self.verifier: Any = None
+        self.cleaner: Any = None
+        #: Per-partition dispatch budget (one core per partition).  None
+        #: when the server is unpartitioned: acquire_budget then yields
+        #: nothing, keeping the monolith's event sequence untouched.
+        self.cpu: Optional[Resource] = (
+            Resource(server.env, capacity=cpu_budget) if cpu_budget else None
+        )
+
+    @property
+    def config(self):
+        return self.server.config
+
+    @property
+    def device(self):
+        return self.server.device
+
+    # -- dispatch budget ------------------------------------------------------
+    def acquire_budget(self) -> Generator[Event, Any, Any]:
+        """Claim this partition's handler budget (no-op when unsharded)."""
+        if self.cpu is None:
+            return None
+        req = yield from self.cpu.acquire()
+        return req
+
+    def release_budget(self, req: Any) -> None:
+        if req is not None:
+            self.cpu.release(req)
+
+    # -- the shared allocation path (client-active PUT, steps 2-4) ------------
+    def alloc_object(
+        self,
+        key: bytes,
+        vlen: int,
+        crc: int,
+        *,
+        publish: bool = True,
+        flags: int = FLAG_VALID,
+    ) -> Generator[Event, Any, tuple[ObjectLocation, int]]:
+        """Allocate + write header/key (+ index update when ``publish``).
+
+        Runs inside a request handler (CPU already held). Returns the
+        location and the hash-entry offset. ``publish=False`` defers the
+        index update (IMM/SAW publish only after the data is durable).
+        """
+        cfg = self.config
+        env = self.env
+        pool = self.pools[self.write_pool_id]
+        size = object_size(len(key), vlen)
+        yield env.timeout(cfg.alloc_ns)
+        offset = pool.allocate(size)
+        loc = ObjectLocation(pool=pool.pool_id, offset=offset, size=size)
+
+        # previous-version link (the version list, §4.2.2)
+        fp = key_fingerprint(key)
+        yield env.timeout(cfg.index_ns)
+        entry_off = self.table.find_or_create(fp)
+        prev = self.table.read_cur(entry_off)
+        pre_ptr = pack_ptr(prev.pool, prev.offset) if prev is not None else NULL_PTR
+
+        header = build_header(
+            flags=flags,
+            klen=len(key),
+            vlen=vlen,
+            crc=crc,
+            pre_ptr=pre_ptr,
+            ts=int(env.now),
+        )
+        yield env.timeout(cfg.header_write_ns + cfg.meta_indirection_ns)
+        pool.write(offset, header + key)
+
+        # Forward link (§4.2.2 NextPTR): lets the log cleaner find "the
+        # next version of the migrated current version". One atomic
+        # 8-byte store into the previous version's header.
+        if prev is not None:
+            nxt_field = OBJECT_HEADER.offset_of("nxt_ptr")
+            self.device.write_atomic64(
+                self.pools[prev.pool].abs_addr(prev.offset) + nxt_field,
+                OBJECT_HEADER.pack_field(
+                    "nxt_ptr", pack_ptr(pool.pool_id, offset)
+                ),
+            )
+
+        # Ordering matters for recoverability (§4.3.1: "after all the
+        # metadata has been updated and persisted"): the header must be
+        # durable *before* the hash entry can point at it — otherwise a
+        # crash could naturally evict the entry update while losing the
+        # header, severing the version list below an intact version.
+        if cfg.persist_meta:
+            yield from self.persist_header(loc, len(key))
+        if publish:
+            yield from self.publish_object(entry_off, loc)
+        if cfg.persist_meta:
+            yield from self.persist_entry_timed(entry_off)
+        self.server.on_allocated(self, loc, entry_off)
+        return loc, entry_off
+
+    def publish_object(
+        self, entry_off: int, loc: ObjectLocation
+    ) -> Generator[Event, Any, None]:
+        """Make the hash entry point at the object (one atomic store)."""
+        yield self.env.timeout(self.config.entry_update_ns)
+        self.table.set_cur(entry_off, loc.slot)
+
+    def persist_header(
+        self, loc: ObjectLocation, klen: int
+    ) -> Generator[Event, Any, None]:
+        """Flush the object header + key (before any entry exposes it)."""
+        t = self.config.nvm_timing
+        meta_len = HEADER_SIZE + klen
+        yield self.env.timeout(t.flush_cost(meta_len))
+        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), meta_len)
+
+    def persist_entry_timed(self, entry_off: int) -> Generator[Event, Any, None]:
+        """Flush the hash entry's line (one CLWB + fence)."""
+        t = self.config.nvm_timing
+        yield self.env.timeout(t.flush_line_ns + t.fence_ns)
+        self.table.persist_entry(entry_off)
+
+    # -- shared object helpers ------------------------------------------------
+    def read_object(self, loc: ObjectLocation) -> ObjectImage:
+        """Instant state read of an object (timing charged by caller)."""
+        return parse_object(self.pools[loc.pool].read(loc.offset, loc.size))
+
+    def object_value_ok(self, img: ObjectImage) -> bool:
+        """Functional CRC verification (the *time* is charged by caller
+        via ``config.crc_cost``)."""
+        return (
+            img.well_formed
+            and img.vlen == len(img.value)
+            and crc32_fast(img.value) == img.crc
+        )
+
+    def persist_object(self, loc: ObjectLocation) -> Generator[Event, Any, None]:
+        """Timed flush of a whole object."""
+        pool = self.pools[loc.pool]
+        yield from self.device.persist(pool.abs_addr(loc.offset), loc.size)
+
+    def set_object_flags(self, loc: ObjectLocation, flags: int) -> None:
+        """Instant single-byte flag store (offset 2 in the header)."""
+        pool = self.pools[loc.pool]
+        pool.write(loc.offset + 2, bytes([flags]))
+
+    def mark_durable(self, loc: ObjectLocation, img: ObjectImage) -> None:
+        self.set_object_flags(loc, img.flags | FLAG_DURABLE)
+        # the flag itself must be durable before pure-RDMA readers trust it
+        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), 8)
+
+    def lookup_slot(
+        self, key: bytes
+    ) -> Optional[tuple[int, Optional[Slot], Optional[Slot]]]:
+        """(entry_off, cur, alt) for ``key`` or None (state only)."""
+        fp = key_fingerprint(key)
+        entry_off = self.table.find(fp)
+        if entry_off is None:
+            return None
+        return entry_off, self.table.read_cur(entry_off), self.table.read_alt(entry_off)
+
+    def previous_location(self, loc: ObjectLocation) -> Optional[ObjectLocation]:
+        """Follow the on-media pre_ptr one hop down the version list."""
+        hdr = parse_header(self.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+        if hdr is None:
+            return None
+        prev = unpack_ptr(hdr.pre_ptr)
+        if prev is None:
+            return None
+        pool_id, offset = prev
+        prev_hdr = parse_header(self.pools[pool_id].read(offset, HEADER_SIZE))
+        if prev_hdr is None:
+            return None
+        return ObjectLocation(
+            pool=pool_id,
+            offset=offset,
+            size=object_size(prev_hdr.klen, prev_hdr.vlen),
+        )

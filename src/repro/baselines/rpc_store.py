@@ -48,40 +48,52 @@ class RpcStoreServer(BaseServer):
         p = msg.payload
         key: bytes = p["key"]
         value: bytes = p["value"]
-        # Allocate + write metadata, but publish only after durability.
-        loc, entry_off = yield from self.alloc_object(
-            key, len(value), 0, publish=False, flags=FLAG_VALID | FLAG_DURABLE
-        )
-        # Staging-buffer -> NVM copy (the extra data pass RPC pays).
-        value_addr = self.pools[loc.pool].abs_addr(loc.offset) + HEADER_SIZE + len(key)
-        yield from self.device.copy_in(value_addr, value)
-        yield from self.persist_object(loc)
-        yield from self.publish_object(entry_off, loc)
-        yield from self._persist_entry_timed(entry_off)
-        return {"ok": True}, RESPONSE_BYTES
+        part = self.partition_for_key(key)
+        budget = yield from part.acquire_budget()
+        try:
+            # Allocate + write metadata, but publish only after durability.
+            loc, entry_off = yield from part.alloc_object(
+                key, len(value), 0, publish=False, flags=FLAG_VALID | FLAG_DURABLE
+            )
+            # Staging-buffer -> NVM copy (the extra data pass RPC pays).
+            value_addr = (
+                part.pools[loc.pool].abs_addr(loc.offset) + HEADER_SIZE + len(key)
+            )
+            yield from self.device.copy_in(value_addr, value)
+            yield from part.persist_object(loc)
+            yield from part.publish_object(entry_off, loc)
+            yield from self._persist_entry_timed(part, entry_off)
+            return {"ok": True}, RESPONSE_BYTES
+        finally:
+            part.release_budget(budget)
 
     def _handle_get(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         key: bytes = msg.payload["key"]
-        yield self.env.timeout(self.config.index_ns)
-        found = self.lookup_slot(key)
-        if found is None or found[1] is None:
-            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
-        _entry_off, cur, _alt = found
-        loc_img = self.read_object(
-            # metadata published only after durability => object intact
-            _loc_from_slot(cur)
-        )
-        # server-side read of the value before shipping it back
-        yield self.env.timeout(self.config.nvm_timing.read_cost(loc_img.vlen))
-        return (
-            {"value": loc_img.value},
-            RESPONSE_BYTES + loc_img.vlen,
-        )
+        part = self.partition_for_key(key)
+        budget = yield from part.acquire_budget()
+        try:
+            yield self.env.timeout(self.config.index_ns)
+            found = part.lookup_slot(key)
+            if found is None or found[1] is None:
+                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+            _entry_off, cur, _alt = found
+            loc_img = part.read_object(
+                # metadata published only after durability => object intact
+                _loc_from_slot(cur)
+            )
+            # server-side read of the value before shipping it back
+            yield self.env.timeout(self.config.nvm_timing.read_cost(loc_img.vlen))
+            return (
+                {"value": loc_img.value},
+                RESPONSE_BYTES + loc_img.vlen,
+            )
+        finally:
+            part.release_budget(budget)
 
-    def _persist_entry_timed(self, entry_off: int) -> Generator[Event, Any, None]:
+    def _persist_entry_timed(self, part, entry_off: int) -> Generator[Event, Any, None]:
         t = self.config.nvm_timing
         yield self.env.timeout(t.flush_cost(32))
-        self.table.persist_entry(entry_off)
+        part.table.persist_entry(entry_off)
 
 
 def _loc_from_slot(slot):

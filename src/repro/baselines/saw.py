@@ -46,15 +46,19 @@ class SAWServer(BaseServer):
         pending = self.pending_allocs.pop(msg.payload["alloc_id"], None)
         if pending is None:
             return rpc_error("unknown alloc_id"), RESPONSE_BYTES
-        loc, entry_off, _klen = pending
-        # Flag first so the flush below covers it: post-crash, a set
-        # durability flag must imply the value is on media.
-        img = self.read_object(loc)
-        self.set_object_flags(loc, img.flags | FLAG_DURABLE)
-        yield from self.persist_object(loc)
-        yield from self.publish_object(entry_off, loc)
-        yield self.env.timeout(self.config.nvm_timing.flush_cost(32))
-        self.table.persist_entry(entry_off)
+        loc, entry_off, _klen, part = pending
+        budget = yield from part.acquire_budget()
+        try:
+            # Flag first so the flush below covers it: post-crash, a set
+            # durability flag must imply the value is on media.
+            img = part.read_object(loc)
+            part.set_object_flags(loc, img.flags | FLAG_DURABLE)
+            yield from part.persist_object(loc)
+            yield from part.publish_object(entry_off, loc)
+            yield self.env.timeout(self.config.nvm_timing.flush_cost(32))
+            part.table.persist_entry(entry_off)
+        finally:
+            part.release_budget(budget)
         return {"ok": True}, RESPONSE_BYTES
 
 
@@ -70,13 +74,13 @@ class SAWClient(BaseClient):
     def get(
         self, key: bytes, size_hint: Optional[int] = None
     ) -> Generator[Event, Any, bytes]:
-        _fp, slots = yield from self.read_bucket(key)
+        fp, slots = yield from self.read_bucket(key)
         if slots is None:
             raise KeyNotFoundError(f"key {key!r} not indexed")
         cur, alt = slots
         slot = cur or alt
         if slot is None:
             raise KeyNotFoundError(f"key {key!r} has no published version")
-        img = yield from self.read_object_at(slot)
+        img = yield from self.read_object_at(slot, self.partition_of(fp))
         self._check_found(img, key)
         return img.value

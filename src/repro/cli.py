@@ -52,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--ops", type=int, default=400)
     run_p.add_argument("--seeds", type=int, nargs="+", default=[42])
     run_p.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="shard the server into N partitions (default 1 = the "
+        "paper's single-threaded server)",
+    )
+    run_p.add_argument(
         "--histogram",
         action="store_true",
         help="print the pooled latency distribution",
@@ -71,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     crash_p.add_argument("--seeds", type=int, nargs="+", default=[7, 11, 13])
     crash_p.add_argument("--evict", type=float, default=0.35)
     crash_p.add_argument("--json", metavar="PATH", default=None)
+
+    part_p = sub.add_parser(
+        "partitions", help="partition-scaling sweep (throughput + recovery)"
+    )
+    part_p.add_argument(
+        "--counts", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+    part_p.add_argument("--ops", type=int, default=200)
+    part_p.add_argument("--clients", type=int, default=16)
+    part_p.add_argument("--json", metavar="PATH", default=None)
 
     return parser
 
@@ -103,6 +120,9 @@ def _cmd_run(args: argparse.Namespace) -> tuple[str, Any]:
         n_clients=args.clients,
         ops_per_client=args.ops,
         warmup_ops=max(20, args.ops // 10),
+        config_overrides=(
+            {"num_partitions": args.partitions} if args.partitions != 1 else {}
+        ),
     )
     rep = run_replicated(spec, seeds=args.seeds)
     table = Table(["metric", "value"])
@@ -197,6 +217,20 @@ def _cmd_crash(args: argparse.Namespace) -> tuple[str, Any]:
     return banner(title) + "\n" + table.render(), payload
 
 
+def _cmd_partitions(args: argparse.Namespace) -> tuple[str, Any]:
+    counts = tuple(args.counts)
+    tput = exp.partition_scaling(
+        partition_counts=counts, ops=args.ops, n_clients=args.clients
+    )
+    recov = exp.partition_recovery_sweep(partition_counts=counts)
+    text = (
+        exp.render_partition_scaling(tput)
+        + "\n"
+        + exp.render_partition_recovery(recov)
+    )
+    return text, {"throughput_mops": _jsonable(tput), "recovery_ns": _jsonable(recov)}
+
+
 def _jsonable(obj: Any) -> Any:
     """Coerce experiment dicts (int keys, tuples) into JSON-safe data."""
     if isinstance(obj, dict):
@@ -216,6 +250,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _cmd_fig(args)
     elif args.command == "crash":
         text, payload = _cmd_crash(args)
+    elif args.command == "partitions":
+        text, payload = _cmd_partitions(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(text)

@@ -1,12 +1,11 @@
 """Background verification and durability (paper §4.3.2).
 
-A single server-side thread walks newly allocated objects in log order:
-for each one it recomputes the CRC over the value, compares against the
-CRC recorded at allocation, and on a match persists the object and sets
-the durability flag. A mismatch means the client's one-sided WRITE has
-not (fully) arrived: the object is revisited later, and once the
-configured timeout elapses it is marked invalid (space reclaimed by log
-cleaning).
+A server-side thread walks newly allocated objects in log order: for
+each one it recomputes the CRC over the value, compares against the CRC
+recorded at allocation, and on a match persists the object and sets the
+durability flag. A mismatch means the client's one-sided WRITE has not
+(fully) arrived: the object is revisited later, and once the configured
+timeout elapses it is marked invalid (space reclaimed by log cleaning).
 
 The thread runs on its *own* core — "the background thread and the
 request processing thread run independently, i.e., there is no need for
@@ -14,32 +13,37 @@ inter-thread synchronization" — so none of this work contends with the
 request CPU. Coordination with the GET handler is exactly the paper's:
 the durability flag lets each side skip objects the other already
 persisted.
+
+With a partitioned server every partition runs its own verifier over
+its own log pools (the same range-sharding Pangolin applies to its
+checksum workers); :class:`VerifierGroup` aggregates them behind the
+single-verifier interface.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from collections.abc import Generator
-from typing import Any, TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING
 
-from repro.baselines.base import ObjectLocation
+from repro.baselines.base import ObjectLocation, Partition
 from repro.kv.objects import FLAG_VALID
 from repro.sim.kernel import Event, Interrupt, Process
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.server import EFactoryServer
 
-__all__ = ["BackgroundVerifier"]
-
-#: CPU cost of inspecting an object's header/flags before deciding.
-_PEEK_NS = 80.0
+__all__ = ["BackgroundVerifier", "VerifierGroup"]
 
 
 class BackgroundVerifier:
-    """The single background verify-and-persist thread."""
+    """One partition's background verify-and-persist thread."""
 
-    def __init__(self, server: "EFactoryServer") -> None:
+    def __init__(
+        self, server: "EFactoryServer", partition: Optional[Partition] = None
+    ) -> None:
         self.server = server
+        self.part = partition if partition is not None else server.partitions[0]
         self.env = server.env
         #: Freshly allocated objects in log order.
         self.queue: deque[ObjectLocation] = deque()
@@ -63,7 +67,12 @@ class BackgroundVerifier:
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> Process:
-        self._proc = self.env.process(self._loop(), name="bg-verifier")
+        name = (
+            "bg-verifier"
+            if self.server.num_partitions == 1
+            else f"bg-verifier-p{self.part.part_id}"
+        )
+        self._proc = self.env.process(self._loop(), name=name)
         return self._proc
 
     def stop(self) -> None:
@@ -91,10 +100,10 @@ class BackgroundVerifier:
         return None
 
     def _process_one(self, loc: ObjectLocation) -> Generator[Event, Any, None]:
-        server = self.server
-        cfg = server.config
-        yield self.env.timeout(_PEEK_NS)
-        img = server.read_object(loc)
+        part = self.part
+        cfg = self.server.config
+        yield self.env.timeout(cfg.peek_ns)
+        img = part.read_object(loc)
 
         if not img.well_formed:
             # Header unreadable (should not happen: metadata was persisted
@@ -109,9 +118,9 @@ class BackgroundVerifier:
         # Integrity verification: CRC over the value.
         yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
         self.verified += 1
-        if server.object_value_ok(img):
-            yield from server.persist_object(loc)
-            server.mark_durable(loc, img)
+        if part.object_value_ok(img):
+            yield from part.persist_object(loc)
+            part.mark_durable(loc, img)
             self.persisted += 1
             return
         yield from self._retry_or_invalidate(loc, img)
@@ -125,9 +134,9 @@ class BackgroundVerifier:
             # The write never completed: mark invalid (§4.3.2); log
             # cleaning reclaims the space.
             if img is not None:
-                self.server.set_object_flags(loc, img.flags & ~FLAG_VALID)
+                self.part.set_object_flags(loc, img.flags & ~FLAG_VALID)
                 self.server.device.buffer.flush(
-                    self.server.pools[loc.pool].abs_addr(loc.offset), 8
+                    self.part.pools[loc.pool].abs_addr(loc.offset), 8
                 )
             self.invalidated += 1
             yield self.env.timeout(cfg.nvm_timing.store_ns)
@@ -145,3 +154,36 @@ class BackgroundVerifier:
             "requeued": self.requeued,
             "backlog": self.backlog,
         }
+
+
+class VerifierGroup:
+    """The partitioned server's verifiers behind the monolith interface."""
+
+    def __init__(self, verifiers: list[BackgroundVerifier]) -> None:
+        self.verifiers = list(verifiers)
+
+    @property
+    def backlog(self) -> int:
+        return sum(v.backlog for v in self.verifiers)
+
+    def start(self) -> None:
+        for v in self.verifiers:
+            v.start()
+
+    def stop(self) -> None:
+        for v in self.verifiers:
+            v.stop()
+
+    def stats(self) -> dict[str, int]:
+        out = {
+            "verified": 0,
+            "persisted": 0,
+            "invalidated": 0,
+            "skipped": 0,
+            "requeued": 0,
+            "backlog": 0,
+        }
+        for v in self.verifiers:
+            for key, value in v.stats().items():
+                out[key] += value
+        return out

@@ -8,8 +8,10 @@ request by SEND (step 5), server resolves a durable location (steps
 6–8), client READs it (step 9).
 
 During log cleaning the client obeys the server's notification and uses
-only the RPC+RDMA path (§4.4); with ``hybrid_read=False`` it always does
-(the "eFactory w/o hr" ablation).
+only the RPC+RDMA path (§4.4) — but only for keys on the *cleaning
+partition*; the other shards stay on the pure path. With
+``hybrid_read=False`` every read takes the RPC+RDMA path (the
+"eFactory w/o hr" ablation), counted separately from genuine fallbacks.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from typing import Any, Optional
 
 from repro.baselines.base import BaseClient, GET_REQUEST_OVERHEAD
 from repro.core.config import EFactoryConfig
+from repro.kv.hashtable import key_fingerprint
 from repro.sim.kernel import Event
 
 __all__ = ["EFactoryClient"]
@@ -28,9 +31,11 @@ class EFactoryClient(BaseClient):
     def __init__(self, env, server, name: str) -> None:
         super().__init__(env, server, name)
         #: Counters for the factor analysis (§6.1): how often the pure
-        #: RDMA path sufficed vs fell back to RPC+RDMA.
+        #: RDMA path sufficed, fell back to RPC+RDMA, or never attempted
+        #: the pure path at all (hybrid read disabled).
         self.pure_reads = 0
         self.fallback_reads = 0
+        self.rpc_only_reads = 0
         #: adaptive-read extension: key -> time until which the pure
         #: attempt is skipped (set after a fallback on that key).
         self._skip_until: dict[bytes, float] = {}
@@ -44,8 +49,13 @@ class EFactoryClient(BaseClient):
         self, key: bytes, size_hint: Optional[int] = None
     ) -> Generator[Event, Any, bytes]:
         cfg: EFactoryConfig = self.config  # type: ignore[assignment]
-        if cfg.hybrid_read and not self.cleaning_mode and not self._skip(key, cfg):
-            value = yield from self._try_pure_read(key)
+        if not cfg.hybrid_read:
+            # The ablation never attempts the pure path: not a fallback.
+            self.rpc_only_reads += 1
+            return (yield from self._rpc_read(key))
+        part = self.partition_of(key_fingerprint(key))
+        if not self.partition_cleaning(part) and not self._skip(key, cfg):
+            value = yield from self._try_pure_read(key, part)
             if value is not None:
                 self.pure_reads += 1
                 self._skip_until.pop(key, None)
@@ -67,7 +77,7 @@ class EFactoryClient(BaseClient):
         return True
 
     def _try_pure_read(
-        self, key: bytes
+        self, key: bytes, part: int = 0
     ) -> Generator[Event, Any, Optional[bytes]]:
         """Steps 1-4: two one-sided READs + durability-flag check."""
         _fp, slots = yield from self.read_bucket(key)
@@ -79,7 +89,7 @@ class EFactoryClient(BaseClient):
         slot = cur or alt
         if slot is None:
             return None
-        img = yield from self.read_object_at(slot)
+        img = yield from self.read_object_at(slot, part)
         if img.well_formed and img.key == key and img.valid and img.durable:
             return img.value
         return None  # incomplete / not yet durable: re-read via RPC
@@ -90,7 +100,7 @@ class EFactoryClient(BaseClient):
             {"op": "get_loc", "key": key}, GET_REQUEST_OVERHEAD + len(key)
         )
         img = yield from self.read_object_loc(
-            resp["pool"], resp["offset"], resp["size"]
+            resp["pool"], resp["offset"], resp["size"], resp.get("part", 0)
         )
         self._check_found(img, key)
         return img.value
@@ -102,4 +112,8 @@ class EFactoryClient(BaseClient):
         )
 
     def read_stats(self) -> dict[str, int]:
-        return {"pure": self.pure_reads, "fallback": self.fallback_reads}
+        return {
+            "pure": self.pure_reads,
+            "fallback": self.fallback_reads,
+            "rpc_only": self.rpc_only_reads,
+        }

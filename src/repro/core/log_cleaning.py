@@ -31,6 +31,13 @@ consistency guarantee while keeping the merge tractable.
 While cleaning runs, request dispatch is charged a small interference
 factor — the paper attributes its 1–5% PUT slowdown during cleaning to
 the cleaner thrashing cache locality (§6.3).
+
+Cleaning is **per-partition**: each partition has its own cleaner over
+its own pool pair, clients are told *which* partition is cleaning, and
+only that partition's keys fall back to the RPC+RDMA read path — the
+other shards stay on the pure one-sided path throughout.  The dispatch
+interference scales with the fraction of partitions cleaning (one shard
+of N thrashes 1/N of the cache working set).
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from __future__ import annotations
 from collections.abc import Generator
 from typing import Any, Optional, TYPE_CHECKING
 
-from repro.baselines.base import ObjectLocation
+from repro.baselines.base import ObjectLocation, Partition
 from repro.errors import StoreError
 from repro.kv.hashtable import key_fingerprint
 from repro.kv.objects import (
@@ -49,6 +56,7 @@ from repro.kv.objects import (
     NULL_PTR,
     OBJECT_HEADER,
     build_header,
+    object_size,
     pack_ptr,
     parse_header,
     unpack_ptr,
@@ -58,7 +66,7 @@ from repro.sim.kernel import Event, Interrupt, Process
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.server import EFactoryServer
 
-__all__ = ["LogCleaner", "CleaningStats"]
+__all__ = ["LogCleaner", "CleanerGroup", "CleaningStats"]
 
 #: Cleaner-core cost of scanning one object header during the sweep.
 _SCAN_NS = 120.0
@@ -88,11 +96,45 @@ class CleaningStats:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
-class LogCleaner:
-    """Runs cleaning cycles on the eFactory server's dedicated core."""
+def _enter_interference(server: "EFactoryServer") -> None:
+    """One more cleaner running: bump the dispatch cost.
 
-    def __init__(self, server: "EFactoryServer") -> None:
+    The base dispatch cost is captured when the first cleaner starts and
+    restored when the last one finishes, so concurrent per-partition
+    cycles compose instead of clobbering each other's save/restore.
+    """
+    if getattr(server, "_active_cleaners", 0) == 0:
+        server._dispatch_base = server.rpc.dispatch_ns
+    server._active_cleaners = getattr(server, "_active_cleaners", 0) + 1
+    _apply_interference(server)
+
+
+def _exit_interference(server: "EFactoryServer") -> None:
+    server._active_cleaners = max(0, server._active_cleaners - 1)
+    _apply_interference(server)
+
+
+def _apply_interference(server: "EFactoryServer") -> None:
+    active = server._active_cleaners
+    n = len(server.partitions)
+    if active == 0:
+        server.rpc.dispatch_ns = server._dispatch_base
+    elif n == 1:
+        server.rpc.dispatch_ns = server._dispatch_base * _INTERFERENCE
+    else:
+        server.rpc.dispatch_ns = server._dispatch_base * (
+            1.0 + (_INTERFERENCE - 1.0) * active / n
+        )
+
+
+class LogCleaner:
+    """Runs cleaning cycles on one partition's dedicated core."""
+
+    def __init__(
+        self, server: "EFactoryServer", partition: Optional[Partition] = None
+    ) -> None:
         self.server = server
+        self.part = partition if partition is not None else server.partitions[0]
         self.env = server.env
         self.stats = CleaningStats()
         self._proc: Optional[Process] = None
@@ -101,31 +143,36 @@ class LogCleaner:
     # -- control ------------------------------------------------------------
     def trigger(self) -> Optional[Process]:
         """Start one cleaning cycle; no-op if one is already running."""
-        if self.server.cleaning_active:
+        part = self.part
+        if part.cleaning_active:
             return None
-        if len(self.server.pools) < 2:
+        if len(part.pools) < 2:
             raise StoreError("log cleaning requires dual pools")
-        self.server.cleaning_active = True
-        self._proc = self.env.process(self._run(), name="log-cleaner")
+        part.cleaning_active = True
+        name = (
+            "log-cleaner"
+            if self.server.num_partitions == 1
+            else f"log-cleaner-p{part.part_id}"
+        )
+        self._proc = self.env.process(self._run(), name=name)
         return self._proc
 
     def stop(self) -> None:
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("stop")
-        self.server.cleaning_active = False
+        self.part.cleaning_active = False
 
     def note_ack(self) -> None:
         self._acks_pending = max(0, self._acks_pending - 1)
 
     # -- the cycle ------------------------------------------------------------
     def _run(self) -> Generator[Event, Any, None]:
-        server = self.server
+        part = self.part
         try:
-            old = server.pools[server.write_pool_id]
-            new = server.pools[1 - server.write_pool_id]
+            old = part.pools[part.write_pool_id]
+            new = part.pools[1 - part.write_pool_id]
             new.reset()
-            base_dispatch = server.rpc.dispatch_ns
-            server.rpc.dispatch_ns = base_dispatch * _INTERFERENCE
+            _enter_interference(self.server)
             try:
                 yield from self._notify("start", await_acks=True)
                 stage1_mark = len(old.allocations)
@@ -133,18 +180,18 @@ class LogCleaner:
                 touched = yield from self._compress(
                     old, new, stage1_mark, snapshot_boundary
                 )
-                server.write_pool_id = new.pool_id
+                part.write_pool_id = new.pool_id
                 touched |= yield from self._merge(old, new, stage1_mark)
                 yield from self._finish(old, new, touched)
                 yield from self._notify("finish", await_acks=False)
             finally:
-                server.rpc.dispatch_ns = base_dispatch
+                _exit_interference(self.server)
             old.reset()
             self.stats.cycles += 1
         except Interrupt:
             return
         finally:
-            server.cleaning_active = False
+            part.cleaning_active = False
 
     # -- notifications --------------------------------------------------------
     def _notify(
@@ -154,7 +201,7 @@ class LogCleaner:
         self._acks_pending = len(server.sessions) if await_acks else 0
         for sess in server.sessions:
             yield from sess.server_ep.send(
-                {"op": "cleaning", "state": state}, 32
+                {"op": "cleaning", "state": state, "part": self.part.part_id}, 32
             )
         while self._acks_pending > 0:
             yield self.env.timeout(_WAIT_NS)
@@ -164,7 +211,7 @@ class LogCleaner:
         self, old, new, stage1_mark: int, snapshot_boundary: int
     ) -> Generator[Event, Any, set[int]]:
         """Reverse-scan the snapshot; move the latest version per key."""
-        server = self.server
+        part = self.part
         snapshot = old.allocations[:stage1_mark]  # allocations at stage start
         seen: set[int] = set()
         touched: set[int] = set()
@@ -178,11 +225,11 @@ class LogCleaner:
                 self.stats.skipped_stale += 1
                 continue
             seen.add(fp)
-            entry_off = server.table.find(fp)
+            entry_off = part.table.find(fp)
             if entry_off is None:
                 continue
             touched.add(entry_off)
-            cur = server.table.read_cur(entry_off)
+            cur = part.table.read_cur(entry_off)
             if cur is None or cur.pool != old.pool_id:
                 continue  # deleted, or already living in the new pool
             if cur.offset >= snapshot_boundary:
@@ -199,7 +246,7 @@ class LogCleaner:
         self, old, new, stage1_mark: int
     ) -> Generator[Event, Any, set[int]]:
         """Merge writes that landed in the old pool during stage 1."""
-        server = self.server
+        part = self.part
         stage1_writes = old.allocations[stage1_mark:]
         seen: set[int] = set()
         touched: set[int] = set()
@@ -213,11 +260,11 @@ class LogCleaner:
                 self.stats.skipped_stale += 1
                 continue
             seen.add(fp)
-            entry_off = server.table.find(fp)
+            entry_off = part.table.find(fp)
             if entry_off is None:
                 continue
             touched.add(entry_off)
-            cur = server.table.read_cur(entry_off)
+            cur = part.table.read_cur(entry_off)
             if cur is None:
                 continue
             if cur.pool == new.pool_id:
@@ -242,33 +289,33 @@ class LogCleaner:
     ) -> Generator[Event, Any, None]:
         """Find the latest verifiable version along the chain and copy it
         into the new pool with the durability flag set."""
-        server = self.server
-        cfg = server.config
-        cur = server.table.read_cur(entry_off)
+        part = self.part
+        cfg = part.config
+        cur = part.table.read_cur(entry_off)
         loc = (
             ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
             if cur is not None
             else None
         )
         while loc is not None:
-            img = server.read_object(loc)
+            img = part.read_object(loc)
             if not img.well_formed or not img.valid:
-                loc = server._previous_location(loc)
+                loc = part.previous_location(loc)
                 continue
             if not img.durable:
                 yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
-                if not server.object_value_ok(img):
+                if not part.object_value_ok(img):
                     # In-flight write: wait for it; or time it out.
                     if self.env.now - img.ts <= cfg.verify_timeout_ns:
                         yield self.env.timeout(_WAIT_NS)
                         continue  # re-read the same location
-                    server.set_object_flags(loc, img.flags & ~FLAG_VALID)
+                    part.set_object_flags(loc, img.flags & ~FLAG_VALID)
                     self.stats.invalidated += 1
-                    loc = server._previous_location(loc)
+                    loc = part.previous_location(loc)
                     continue
-                yield from server.persist_object(loc)
-                server.mark_durable(loc, img)
-                img = server.read_object(loc)
+                yield from part.persist_object(loc)
+                part.mark_durable(loc, img)
+                img = part.read_object(loc)
 
             # Copy into the new pool: fresh header (history truncated),
             # durable from the first byte readers can reach it.
@@ -283,17 +330,17 @@ class LogCleaner:
             )
             yield self.env.timeout(cfg.nvm_timing.copy_cost(loc.size))
             new.write(new_off, header + img.key + img.value)
-            yield from server.device.persist(new.abs_addr(new_off), loc.size)
+            yield from part.device.persist(new.abs_addr(new_off), loc.size)
 
             # Publish as the cleaning copy; mark the original migrated.
             yield self.env.timeout(cfg.entry_update_ns)
             new_slot = ObjectLocation(
                 pool=new.pool_id, offset=new_off, size=loc.size
             ).slot
-            server.table.set_alt(entry_off, new_slot)
-            server.table.persist_entry(entry_off)
+            part.table.set_alt(entry_off, new_slot)
+            part.table.persist_entry(entry_off)
             if loc.pool == old.pool_id:
-                server.set_object_flags(loc, img.flags | FLAG_TRANS)
+                part.set_object_flags(loc, img.flags | FLAG_TRANS)
             self.stats.moved += 1
             self.stats.bytes_copied += loc.size
             return
@@ -303,23 +350,23 @@ class LogCleaner:
     # -- finish -----------------------------------------------------------------------
     def _finish(self, old, new, touched: set[int]) -> Generator[Event, Any, None]:
         """Flip every touched entry over to the new pool (Figure 7 end)."""
-        server = self.server
-        t = server.config.nvm_timing
+        part = self.part
+        t = part.config.nvm_timing
         for entry_off in touched:
             yield self.env.timeout(2 * t.store_ns)
-            cur = server.table.read_cur(entry_off)
-            alt = server.table.read_alt(entry_off)
+            cur = part.table.read_cur(entry_off)
+            alt = part.table.read_alt(entry_off)
             if cur is not None and cur.pool == new.pool_id:
                 # Raced with a new-pool write: splice its chain onto the
                 # moved copy and retire the alt slot.
                 self._fix_cross_pool_chain(cur, old.pool_id, alt, new.pool_id)
-                server.table.clear_alt(entry_off)
+                part.table.clear_alt(entry_off)
             elif alt is not None:
-                server.table.promote_alt(entry_off)
+                part.table.promote_alt(entry_off)
             elif cur is not None and cur.pool == old.pool_id:
                 # Nothing intact was moved: the key has no durable data.
-                server.table.clear_cur(entry_off)
-            server.table.persist_entry(entry_off)
+                part.table.clear_cur(entry_off)
+            part.table.persist_entry(entry_off)
             self.stats.entries_fixed += 1
 
     def _fix_cross_pool_chain(
@@ -327,11 +374,11 @@ class LogCleaner:
     ) -> None:
         """Rewrite the first old-pool PrePTR in a new-pool chain to the
         moved copy (or null it when nothing was moved)."""
-        server = self.server
+        part = self.part
         loc = ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
         pre_off = OBJECT_HEADER.offset_of("pre_ptr")
         while True:
-            hdr = parse_header(server.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+            hdr = parse_header(part.pools[loc.pool].read(loc.offset, HEADER_SIZE))
             if hdr is None:
                 return
             prev = unpack_ptr(hdr.pre_ptr)
@@ -342,22 +389,46 @@ class LogCleaner:
                 new_ptr = (
                     pack_ptr(alt.pool, alt.offset) if alt is not None else NULL_PTR
                 )
-                addr = server.pools[loc.pool].abs_addr(loc.offset) + pre_off
-                server.device.write_atomic64(
+                addr = part.pools[loc.pool].abs_addr(loc.offset) + pre_off
+                part.device.write_atomic64(
                     addr, OBJECT_HEADER.pack_field("pre_ptr", new_ptr)
                 )
-                server.device.buffer.flush(addr, 8)
+                part.device.buffer.flush(addr, 8)
                 return
             # hop along the new-pool chain
             nxt = parse_header(
-                server.pools[prev_pool].read(prev_off_val, HEADER_SIZE)
+                part.pools[prev_pool].read(prev_off_val, HEADER_SIZE)
             )
             if nxt is None:
                 return
-            from repro.kv.objects import object_size
-
             loc = ObjectLocation(
                 pool=prev_pool,
                 offset=prev_off_val,
                 size=object_size(nxt.klen, nxt.vlen),
             )
+
+
+class CleanerGroup:
+    """The partitioned server's cleaners behind the monolith interface."""
+
+    def __init__(self, cleaners: list[LogCleaner]) -> None:
+        self.cleaners = list(cleaners)
+
+    @property
+    def stats(self) -> CleaningStats:
+        merged = CleaningStats()
+        for cleaner in self.cleaners:
+            for name in CleaningStats.__slots__:
+                setattr(
+                    merged, name,
+                    getattr(merged, name) + getattr(cleaner.stats, name),
+                )
+        return merged
+
+    def note_ack(self) -> None:  # pragma: no cover - acks are routed per part
+        for cleaner in self.cleaners:
+            cleaner.note_ack()
+
+    def stop(self) -> None:
+        for cleaner in self.cleaners:
+            cleaner.stop()

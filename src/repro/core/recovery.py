@@ -17,6 +17,12 @@ is gone. Recovery rebuilds a consistent store:
    provide (§4.1). Keys with no intact version are cleared (they were
    never durably acknowledged under eFactory's guarantees).
 
+Partitions recover *independently*: each owns disjoint pools and a
+disjoint table segment, so a partitioned server replays its shards as
+parallel recovery processes and the wall-clock cost is the slowest
+shard, not the sum — the recovery-time payoff of sharding. With one
+partition the pass below is executed inline, unchanged.
+
 Erda's recovery (:func:`recover_erda`) is the two-offset equivalent and
 inherits Erda's limitations: entries were never flushed, so index
 updates survive only by natural eviction, and rollback depth is two.
@@ -28,7 +34,7 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.baselines.base import BaseServer, ObjectLocation
+from repro.baselines.base import BaseServer, ObjectLocation, Partition
 from repro.crc.crc32 import crc32_fast
 from repro.errors import RecoveryError
 from repro.kv.hopscotch import HopscotchTable, TwoVersions
@@ -70,6 +76,16 @@ class RecoveryReport:
             "duration_ns": self.duration_ns,
         }
 
+    def merge(self, other: "RecoveryReport") -> None:
+        """Fold another shard's report into this one (duration excluded:
+        parallel shards overlap, the caller takes wall-clock time)."""
+        self.keys_recovered += other.keys_recovered
+        self.keys_rolled_back += other.keys_rolled_back
+        self.keys_lost += other.keys_lost
+        self.torn_objects += other.torn_objects
+        self.objects_scanned += other.objects_scanned
+        self.pool_heads.extend(other.pool_heads)
+
 
 def scan_pool(pool: LogPool) -> list[Allocation]:
     """Re-derive the allocation journal from on-media headers."""
@@ -91,14 +107,44 @@ def recover_bucketized(
     server: BaseServer,
 ) -> Generator[Event, Any, RecoveryReport]:
     """Recovery for the bucketized-index stores (eFactory, CA, SAW, IMM,
-    RPC, Forca). A timed generator: run it in a simulated process."""
+    RPC, Forca). A timed generator: run it in a simulated process.
+
+    Single partition: the scan-and-repair pass runs inline. Multiple
+    partitions: one recovery process per shard, all concurrent; the
+    merged report's ``duration_ns`` is the slowest shard's wall clock.
+    """
     env = server.env
-    t = server.config.nvm_timing
     report = RecoveryReport()
     start = env.now
 
+    if len(server.partitions) == 1:
+        part_report = yield from _recover_partition(server, server.partitions[0])
+        report.merge(part_report)
+    else:
+        procs = [
+            env.process(
+                _recover_partition(server, part), name=f"recover-p{part.part_id}"
+            )
+            for part in server.partitions
+        ]
+        yield env.all_of(procs)
+        for proc in procs:
+            report.merge(proc.value)
+
+    report.duration_ns = env.now - start
+    return report
+
+
+def _recover_partition(
+    server: BaseServer, part: Partition
+) -> Generator[Event, Any, RecoveryReport]:
+    """Scan one partition's pools and repair its table segment."""
+    env = server.env
+    t = server.config.nvm_timing
+    report = RecoveryReport()
+
     # 1. pool scans
-    for pool in server.pools:
+    for pool in part.pools:
         allocations = scan_pool(pool)
         yield env.timeout(
             t.read_cost(HEADER_SIZE) * max(1, len(allocations) + 1)
@@ -115,44 +161,43 @@ def recover_bucketized(
         report.objects_scanned += len(allocations)
 
     # 2. index repair
-    for entry_off, entry in server.table.iter_entries():
+    for entry_off, entry in part.table.iter_entries():
         yield env.timeout(t.read_cost(32))
-        cur = server.table.read_cur(entry_off)
-        alt = server.table.read_alt(entry_off)
+        cur = part.table.read_cur(entry_off)
+        alt = part.table.read_alt(entry_off)
 
-        winner, rolled, torn = yield from _resolve_chain(server, entry.fp, cur)
+        winner, rolled, torn = yield from _resolve_chain(part, entry.fp, cur)
         report.torn_objects += torn
         if winner is None and alt is not None:
             alt_loc = ObjectLocation(pool=alt.pool, offset=alt.offset, size=alt.size)
-            ok = yield from _verify_version(server, entry.fp, alt_loc)
+            ok = yield from _verify_version(part, entry.fp, alt_loc)
             if ok:
                 winner, rolled = alt_loc, True
 
         if winner is None:
             if cur is not None or alt is not None:
                 report.keys_lost += 1
-            server.table.clear_cur(entry_off)
-            server.table.clear_alt(entry_off)
-            server.table.persist_entry(entry_off)
+            part.table.clear_cur(entry_off)
+            part.table.clear_alt(entry_off)
+            part.table.persist_entry(entry_off)
             continue
 
-        img = server.read_object(winner)
-        server.set_object_flags(winner, img.flags | FLAG_DURABLE)
-        yield from server.persist_object(winner)
-        server.table.set_cur(entry_off, winner.slot)
-        server.table.clear_alt(entry_off)
-        server.table.persist_entry(entry_off)
+        img = part.read_object(winner)
+        part.set_object_flags(winner, img.flags | FLAG_DURABLE)
+        yield from part.persist_object(winner)
+        part.table.set_cur(entry_off, winner.slot)
+        part.table.clear_alt(entry_off)
+        part.table.persist_entry(entry_off)
         if rolled:
             report.keys_rolled_back += 1
         else:
             report.keys_recovered += 1
 
-    report.duration_ns = env.now - start
     return report
 
 
 def _resolve_chain(
-    server: BaseServer, fp: int, cur
+    part: Partition, fp: int, cur
 ) -> Generator[Event, Any, tuple[Optional[ObjectLocation], bool, int]]:
     """Walk a version chain; return (winner, rolled_back, torn_count)."""
     torn = 0
@@ -163,18 +208,18 @@ def _resolve_chain(
         else None
     )
     while loc is not None:
-        ok = yield from _verify_version(server, fp, loc)
+        ok = yield from _verify_version(part, fp, loc)
         if ok:
             return loc, rolled, torn
         torn += 1
         rolled = True
         # follow the on-media pre_ptr
-        hdr = parse_header(server.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+        hdr = parse_header(part.pools[loc.pool].read(loc.offset, HEADER_SIZE))
         prev = unpack_ptr(hdr.pre_ptr) if hdr is not None else None
         if prev is None:
             return None, rolled, torn
         pool_id, offset = prev
-        prev_hdr = parse_header(server.pools[pool_id].read(offset, HEADER_SIZE))
+        prev_hdr = parse_header(part.pools[pool_id].read(offset, HEADER_SIZE))
         if prev_hdr is None:
             return None, rolled, torn
         loc = ObjectLocation(
@@ -186,16 +231,17 @@ def _resolve_chain(
 
 
 def _verify_version(
-    server: BaseServer, fp: int, loc: ObjectLocation
+    part: Partition, fp: int, loc: ObjectLocation
 ) -> Generator[Event, Any, bool]:
     """Is the version at ``loc`` provably intact on media?"""
     from repro.kv.hashtable import key_fingerprint
 
-    env = server.env
-    t = server.config.nvm_timing
+    env = part.env
+    cfg = part.config
+    t = cfg.nvm_timing
     yield env.timeout(t.read_cost(loc.size))
     try:
-        img = server.read_object(loc)
+        img = part.read_object(loc)
     except Exception:
         return False
     if not img.well_formed or not (img.flags & FLAG_VALID):
@@ -204,8 +250,8 @@ def _verify_version(
         return False
     if img.durable:
         return True  # flag flushed only after the value: trustworthy
-    yield env.timeout(server.config.crc_cost.cost_ns(img.vlen))
-    return server.object_value_ok(img)
+    yield env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+    return part.object_value_ok(img)
 
 
 def recover_erda(server) -> Generator[Event, Any, RecoveryReport]:

@@ -1,11 +1,16 @@
 """The eFactory server (paper §4).
 
 Composition of the shared client-active allocation path
-(:meth:`repro.baselines.base.BaseServer.alloc_object` — Figure 5 steps
-2–4, with metadata persisted before the ack), the background
+(:meth:`repro.baselines.partition.Partition.alloc_object` — Figure 5
+steps 2–4, with metadata persisted before the ack), the background
 verification thread (§4.3.2), the RPC read path with the *selective
 durability guarantee* (§4.3.3 steps 6–8 / §5.3 "durability check first,
 CRC only if needed"), and the two-stage log cleaner (§4.4).
+
+With ``num_partitions > 1`` the server is a composition of independent
+partitions (own pools, table segment, verifier, cleaner — see
+``repro.baselines.partition``); every RPC handler routes by the key's
+fingerprint and runs under that partition's dispatch budget.
 """
 
 from __future__ import annotations
@@ -16,11 +21,12 @@ from typing import Any, Optional
 from repro.baselines.base import (
     BaseServer,
     ObjectLocation,
+    Partition,
     RESPONSE_BYTES,
 )
-from repro.core.background import BackgroundVerifier
+from repro.core.background import BackgroundVerifier, VerifierGroup
 from repro.core.config import EFactoryConfig, efactory_config
-from repro.kv.objects import FLAG_VALID, HEADER_SIZE, object_size, parse_header, unpack_ptr
+from repro.kv.objects import FLAG_VALID
 from repro.rdma.fabric import Fabric
 from repro.rdma.rpc import rpc_error
 from repro.rdma.verbs import Message
@@ -44,21 +50,36 @@ class EFactoryServer(BaseServer):
         cfg: EFactoryConfig = self.config  # type: ignore[assignment]
         # Multiple receive regions -> cheaper per-message dispatch (§6.1).
         self.rpc.dispatch_ns = cfg.effective_dispatch_ns
-        self.background = BackgroundVerifier(self)
-        from repro.core.log_cleaning import LogCleaner  # avoid import cycle
+        from repro.core.log_cleaning import CleanerGroup, LogCleaner  # import cycle
 
-        self.cleaner = LogCleaner(self)
-        self.cleaning_active = False
+        for part in self.partitions:
+            part.verifier = BackgroundVerifier(self, part)
+            part.cleaner = LogCleaner(self, part)
+        # Monolith-compatible facades (the single-partition objects
+        # themselves when N == 1, aggregates otherwise).
+        if len(self.partitions) == 1:
+            self.background = self.partitions[0].verifier
+            self.cleaner = self.partitions[0].cleaner
+        else:
+            self.background = VerifierGroup([p.verifier for p in self.partitions])
+            self.cleaner = CleanerGroup([p.cleaner for p in self.partitions])
+
+    @property
+    def cleaning_active(self) -> bool:
+        """True while *any* partition runs a cleaning cycle."""
+        return any(p.cleaning_active for p in self.partitions)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
         super().start()
-        self.background.start()
+        for part in self.partitions:
+            part.verifier.start()
 
     def stop(self) -> None:
         super().stop()
-        self.background.stop()
-        self.cleaner.stop()
+        for part in self.partitions:
+            part.verifier.stop()
+            part.cleaner.stop()
 
     # -- handlers ----------------------------------------------------------------
     def _register_handlers(self) -> None:
@@ -67,19 +88,22 @@ class EFactoryServer(BaseServer):
         self.rpc.register("delete", self._handle_delete)
         self.rpc.register("cleaning_ack", self._handle_cleaning_ack)
 
-    def on_allocated(self, loc: ObjectLocation, entry_off: int) -> None:
-        """Feed the background thread; maybe trigger log cleaning."""
-        self.background.enqueue(loc)
+    def on_allocated(
+        self, part: Partition, loc: ObjectLocation, entry_off: int
+    ) -> None:
+        """Feed the partition's background thread; maybe trigger cleaning."""
+        part.verifier.enqueue(loc)
         cfg: EFactoryConfig = self.config  # type: ignore[assignment]
         if (
             cfg.auto_clean
-            and not self.cleaning_active
-            and self.pools[self.write_pool_id].needs_cleaning()
+            and not part.cleaning_active
+            and part.pools[part.write_pool_id].needs_cleaning()
         ):
-            self.cleaner.trigger()
+            part.cleaner.trigger()
 
     def _handle_cleaning_ack(self, msg: Message) -> Generator[Event, Any, None]:
-        self.cleaner.note_ack()
+        part_id = msg.payload.get("part", 0)
+        self.partitions[part_id].cleaner.note_ack()
         return None
         yield  # pragma: no cover - makes this a generator
 
@@ -87,37 +111,43 @@ class EFactoryServer(BaseServer):
     def _handle_get_loc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         cfg = self.config
         key: bytes = msg.payload["key"]
-        yield self.env.timeout(cfg.index_ns)
-        found = self.lookup_slot(key)
-        if found is None:
-            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
-        _entry_off, cur, alt = found
+        part = self.partition_for_key(key)
+        budget = yield from part.acquire_budget()
+        try:
+            yield self.env.timeout(cfg.index_ns)
+            found = part.lookup_slot(key)
+            if found is None:
+                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+            _entry_off, cur, alt = found
 
-        # Walk the version list from the latest version (step 7).
-        loc = _loc(cur)
-        while loc is not None:
-            resolved = yield from self._resolve_version(loc, key)
-            if resolved is not None:
-                return (
-                    {"pool": resolved.pool, "offset": resolved.offset,
-                     "size": resolved.size},
-                    RESPONSE_BYTES,
-                )
-            loc = self._previous_location(loc)
+            # Walk the version list from the latest version (step 7).
+            loc = _loc(cur)
+            while loc is not None:
+                resolved = yield from self._resolve_version(part, loc, key)
+                if resolved is not None:
+                    return (
+                        {"pool": resolved.pool, "offset": resolved.offset,
+                         "size": resolved.size, "part": part.part_id},
+                        RESPONSE_BYTES,
+                    )
+                loc = part.previous_location(loc)
 
-        # Fall back to the log-cleaning copy (durable by construction).
-        if alt is not None:
-            loc = _loc(alt)
-            img = self.read_object(loc)
-            if img.well_formed and img.key == key and img.durable:
-                return (
-                    {"pool": loc.pool, "offset": loc.offset, "size": loc.size},
-                    RESPONSE_BYTES,
-                )
-        return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+            # Fall back to the log-cleaning copy (durable by construction).
+            if alt is not None:
+                loc = _loc(alt)
+                img = part.read_object(loc)
+                if img.well_formed and img.key == key and img.durable:
+                    return (
+                        {"pool": loc.pool, "offset": loc.offset,
+                         "size": loc.size, "part": part.part_id},
+                        RESPONSE_BYTES,
+                    )
+            return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+        finally:
+            part.release_budget(budget)
 
     def _resolve_version(
-        self, loc: ObjectLocation, key: bytes
+        self, part: Partition, loc: ObjectLocation, key: bytes
     ) -> Generator[Event, Any, Optional[ObjectLocation]]:
         """Selective durability guarantee for one version.
 
@@ -126,8 +156,8 @@ class EFactoryServer(BaseServer):
         Forca, which CRCs every read.
         """
         cfg = self.config
-        yield self.env.timeout(80.0)  # header peek
-        img = self.read_object(loc)
+        yield self.env.timeout(cfg.peek_ns)  # header peek
+        img = part.read_object(loc)
         if not img.well_formed or img.key != key or not img.valid:
             return None
         if img.durable:
@@ -135,53 +165,54 @@ class EFactoryServer(BaseServer):
         # Not yet durable: verify + persist on the request path so the
         # reader is never blocked behind the background thread's cursor.
         yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
-        if self.object_value_ok(img):
-            yield from self.persist_object(loc)
-            self.mark_durable(loc, img)
+        if part.object_value_ok(img):
+            yield from part.persist_object(loc)
+            part.mark_durable(loc, img)
             return loc
         return None
-
-    def _previous_location(self, loc: ObjectLocation) -> Optional[ObjectLocation]:
-        hdr = parse_header(self.pools[loc.pool].read(loc.offset, HEADER_SIZE))
-        if hdr is None:
-            return None
-        prev = unpack_ptr(hdr.pre_ptr)
-        if prev is None:
-            return None
-        pool_id, offset = prev
-        prev_hdr = parse_header(self.pools[pool_id].read(offset, HEADER_SIZE))
-        if prev_hdr is None:
-            return None
-        return ObjectLocation(
-            pool=pool_id,
-            offset=offset,
-            size=object_size(prev_hdr.klen, prev_hdr.vlen),
-        )
 
     # -- delete (API completeness; reclaimed by log cleaning) ------------------------
     def _handle_delete(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         cfg = self.config
         key: bytes = msg.payload["key"]
-        yield self.env.timeout(cfg.index_ns)
-        found = self.lookup_slot(key)
-        if found is None or found[1] is None:
-            return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
-        entry_off, cur, _alt = found
-        loc = _loc(cur)
-        img = self.read_object(loc)
-        yield self.env.timeout(cfg.entry_update_ns)
-        self.table.clear_cur(entry_off)
-        self.table.clear_alt(entry_off)
-        self.table.persist_entry(entry_off)
-        if img.well_formed:
-            self.set_object_flags(loc, img.flags & ~FLAG_VALID)
-        yield self.env.timeout(cfg.nvm_timing.flush_cost(32))
-        return {"ok": True}, RESPONSE_BYTES
+        part = self.partition_for_key(key)
+        budget = yield from part.acquire_budget()
+        try:
+            yield self.env.timeout(cfg.index_ns)
+            found = part.lookup_slot(key)
+            if found is None or found[1] is None:
+                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+            entry_off, cur, _alt = found
+            loc = _loc(cur)
+            img = part.read_object(loc)
+            yield self.env.timeout(cfg.entry_update_ns)
+            part.table.clear_cur(entry_off)
+            part.table.clear_alt(entry_off)
+            part.table.persist_entry(entry_off)
+            if img.well_formed:
+                part.set_object_flags(loc, img.flags & ~FLAG_VALID)
+            yield self.env.timeout(cfg.nvm_timing.flush_cost(32))
+            return {"ok": True}, RESPONSE_BYTES
+        finally:
+            part.release_budget(budget)
 
     # -- maintenance -----------------------------------------------------------------
-    def trigger_cleaning(self):
-        """Manually start a log-cleaning cycle (benchmarks, tests)."""
-        return self.cleaner.trigger()
+    def trigger_cleaning(self, part_id: Optional[int] = None) -> Optional[Event]:
+        """Manually start a log-cleaning cycle (benchmarks, tests).
+
+        ``part_id`` selects one partition; with ``None`` the monolith
+        triggers its single cleaner, a partitioned server triggers *all*
+        idle cleaners and returns an event for their completion.
+        """
+        if part_id is not None:
+            return self.partitions[part_id].cleaner.trigger()
+        if len(self.partitions) == 1:
+            return self.partitions[0].cleaner.trigger()
+        procs = [p.cleaner.trigger() for p in self.partitions]
+        procs = [proc for proc in procs if proc is not None]
+        if not procs:
+            return None
+        return self.env.all_of(procs)
 
 
 def _loc(slot) -> Optional[ObjectLocation]:

@@ -263,7 +263,8 @@ def _read_value_state(server, key: bytes, spec: CrashSpec) -> Optional[bytes]:
             server.pools[0].read(off, object_size(hdr.klen, hdr.vlen))
         )
         return img.value if img.well_formed else b"\x00"
-    found = server.lookup_slot(key)
+    part = server.partition_for_key(key)
+    found = part.lookup_slot(key)
     if found is None:
         return None
     _entry, cur, alt = found
@@ -272,7 +273,7 @@ def _read_value_state(server, key: bytes, spec: CrashSpec) -> Optional[bytes]:
         return None
     from repro.baselines.base import ObjectLocation
 
-    img = server.read_object(
+    img = part.read_object(
         ObjectLocation(pool=slot.pool, offset=slot.offset, size=slot.size)
     )
     return img.value if img.well_formed else b"\x00"

@@ -35,6 +35,10 @@ __all__ = [
     "render_fig11",
     "crash_consistency",
     "render_crash",
+    "partition_scaling",
+    "render_partition_scaling",
+    "partition_recovery_sweep",
+    "render_partition_recovery",
 ]
 
 #: The paper sweeps value sizes 64 B – 4 KiB.
@@ -304,6 +308,110 @@ def render_fig11(data: dict[str, dict[str, float]]) -> str:
             fmt_ns(row["cleaning_ns"]),
             f"{row['overhead'] * 100:+.1f}%",
         )
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Partition scaling (extension): aggregate throughput and recovery time
+# of the sharded server core vs the paper's single-threaded design
+# --------------------------------------------------------------------------
+
+def partition_scaling(
+    partition_counts: Sequence[int] = (1, 2, 4, 8),
+    store: str = "efactory",
+    value_len: int = 128,
+    n_clients: int = 16,
+    ops: int = 200,
+    key_count: int = 512,
+    seed: int = 42,
+) -> dict[int, float]:
+    """Aggregate update-only throughput (Mops/s) vs partition count.
+
+    ``server_cores`` is pinned to 1 so every partition models exactly
+    one core's worth of dispatch budget: the x-axis is cores-by-way-of-
+    partitions, the paper's single-threaded server being x = 1.
+    """
+    out: dict[int, float] = {}
+    for n in partition_counts:
+        spec = RunSpec(
+            store=store,
+            workload=update_only(value_len=value_len, key_count=key_count),
+            n_clients=n_clients,
+            ops_per_client=ops,
+            warmup_ops=max(20, ops // 10),
+            seed=seed,
+            config_overrides={"num_partitions": n, "server_cores": 1},
+        )
+        out[n] = run_experiment(spec).throughput_mops
+    return out
+
+
+def render_partition_scaling(data: dict[int, float]) -> str:
+    lines = [banner("Partition scaling: update-only throughput vs #partitions")]
+    table = Table(["partitions", "throughput", "speedup vs 1"])
+    base = data.get(1)
+    for n in sorted(data):
+        speedup = f"{data[n] / base:.2f}x" if base else "-"
+        table.add(n, fmt_mops(data[n]), speedup)
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+def partition_recovery_sweep(
+    partition_counts: Sequence[int] = (1, 2, 4, 8),
+    n_keys: int = 256,
+    value_len: int = 128,
+    versions: int = 2,
+) -> dict[int, float]:
+    """Post-crash recovery wall-clock (ns) vs partition count.
+
+    Shards recover concurrently (disjoint pools + table segments), so
+    recovery time should approach the slowest shard's share of the data
+    rather than the whole store's.
+    """
+    from repro.core.recovery import recover_bucketized
+    from repro.sim.kernel import Environment
+    from repro.stores import build_store
+    from repro.workloads.keyspace import make_key, make_value
+
+    out: dict[int, float] = {}
+    for n in partition_counts:
+        env = Environment()
+        setup = build_store(
+            "efactory",
+            env,
+            config_overrides={
+                "pool_size": 4 << 20,
+                "auto_clean": False,
+                "num_partitions": n,
+            },
+            n_clients=1,
+        ).start()
+        client = setup.client()
+
+        def load() -> Generator[Any, Any, None]:
+            for v in range(versions):
+                for i in range(n_keys):
+                    yield from client.put(
+                        make_key(i, 16), make_value(i, v, value_len)
+                    )
+
+        env.run(env.process(load(), name="preload"))
+        env.run(until=env.now + 2_000_000)
+        setup.server.stop()
+        report = env.run(env.process(recover_bucketized(setup.server)))
+        out[n] = report.duration_ns
+    return out
+
+
+def render_partition_recovery(data: dict[int, float]) -> str:
+    lines = [banner("Partition scaling: recovery wall-clock vs #partitions")]
+    table = Table(["partitions", "recovery", "vs 1 partition"])
+    base = data.get(1)
+    for n in sorted(data):
+        rel = f"{data[n] / base:.2f}x" if base else "-"
+        table.add(n, fmt_ns(data[n]), rel)
     lines.append(table.render())
     return "\n".join(lines)
 

@@ -55,8 +55,11 @@ class RunResult:
     window_ns: float
     errors: int
     #: eFactory factor analysis: pure vs fallback reads (zeros elsewhere).
+    #: ``rpc_only_reads`` counts reads that never attempted the pure
+    #: path (hybrid read disabled) — not genuine fallbacks.
     pure_reads: int = 0
     fallback_reads: int = 0
+    rpc_only_reads: int = 0
 
     @property
     def throughput_mops(self) -> float:
@@ -158,6 +161,7 @@ def run_experiment(spec: RunSpec, post_setup=None) -> RunResult:
 
     pure = sum(getattr(c, "pure_reads", 0) for c in setup.clients)
     fallback = sum(getattr(c, "fallback_reads", 0) for c in setup.clients)
+    rpc_only = sum(getattr(c, "rpc_only_reads", 0) for c in setup.clients)
     window = max(0.0, state["end"][0] - state["start"][0])
     return RunResult(
         spec=spec,
@@ -167,6 +171,7 @@ def run_experiment(spec: RunSpec, post_setup=None) -> RunResult:
         errors=state["errors"],
         pure_reads=pure,
         fallback_reads=fallback,
+        rpc_only_reads=rpc_only,
     )
 
 

@@ -40,6 +40,7 @@ __all__ = [
     "HashTableGeometry",
     "NvmHashTable",
     "key_fingerprint",
+    "partition_of_fp",
     "client_lookup_bucket",
 ]
 
@@ -126,6 +127,20 @@ def key_fingerprint(key: bytes) -> int:
     """Fingerprint shared by server and clients; never 0 (0 = empty)."""
     fp = fnv1a_64(key)
     return fp or 1
+
+
+def partition_of_fp(fp: int, n_partitions: int) -> int:
+    """Deterministic key→partition route, computed identically on server
+    and clients (so the pure one-sided READ path needs no extra round
+    trip to locate a key's shard).
+
+    Uses the *high* fingerprint bits: ``bucket_of`` consumes the low
+    bits (``fp % n_buckets``), so high-bit routing keeps the per-
+    partition bucket distribution as uniform as the unpartitioned one.
+    """
+    if n_partitions <= 1:
+        return 0
+    return (fp >> 48) % n_partitions
 
 
 class NvmHashTable:

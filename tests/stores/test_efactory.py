@@ -69,7 +69,10 @@ class TestHybridRead:
             yield from c.get(KEY, size_hint=64)
 
         run1(env, work())
-        assert c.pure_reads == 0 and c.fallback_reads == 2
+        # With hybrid read disabled the pure path is never attempted:
+        # these are rpc-only reads, not fallbacks.
+        assert c.pure_reads == 0 and c.fallback_reads == 0
+        assert c.rpc_only_reads == 2
 
     def test_rpc_fallback_serves_durable_version_during_race(self, env):
         """While the newest version is in flight, the server must serve
