@@ -1,0 +1,103 @@
+"""Resilience under injected faults: throughput/availability vs fault rate.
+
+Sweeps the injection probability of three fault kinds (QP error-state
+flaps, lost completions, NVM flush spikes) against eFactory with the
+client retry/backoff policy attached, and records goodput, availability,
+and recovery effort for each point. Besides the rendered table, the full
+sweep is written to ``benchmark_resilience.json`` so CI can archive the
+curves as a machine-readable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.chaos import ChaosSpec, run_chaos_experiment
+
+from .conftest import scaled
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "benchmark_resilience.json")
+
+#: (plan, label) pairs swept below; probability is overridden per point.
+SWEEPS = [
+    ("qp-flap", "QP error-state flaps"),
+    ("drop-completions", "lost completions"),
+    ("slow-nvm", "NVM flush spikes"),
+]
+
+FAULT_RATES = [0.0, 0.02, 0.08]
+
+
+def _run_point(plan: str, probability: float) -> dict:
+    spec = ChaosSpec(
+        store="efactory",
+        plan=plan,
+        seed=7,
+        n_clients=2,
+        ops_per_client=scaled(60),
+        key_count=24,
+        plan_overrides={"probability": probability},
+    )
+    report = run_chaos_experiment(spec)
+    ops = report.completed_ops
+    goodput_kops = ops / report.wall_ns * 1e6 if report.wall_ns > 0 else 0.0
+    return {
+        "plan": plan,
+        "fault_rate": probability,
+        "faults_injected": len(report.fault_schedule),
+        "availability": report.availability,
+        "goodput_kops": goodput_kops,
+        "retries": report.resilience["retries"],
+        "timeouts": report.resilience["timeouts"],
+        "reconnects": report.resilience["reconnects"],
+        "degraded_reads": report.degraded_reads,
+        "violations": len(report.violations),
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    points = [
+        _run_point(plan, rate) for plan, _ in SWEEPS for rate in FAULT_RATES
+    ]
+    with open(JSON_PATH, "w") as fh:
+        json.dump({"store": "efactory", "seed": 7, "points": points}, fh, indent=2)
+    return points
+
+
+def test_resilience_sweep_table(sweep, show):
+    rows = ["plan              rate   faults  avail  kops    retries  reconn"]
+    rows += ["-" * len(rows[0])]
+    for p in sweep:
+        rows.append(
+            f"{p['plan']:<17s} {p['fault_rate']:<6.2f} {p['faults_injected']:<7d} "
+            f"{p['availability']:<6.3f} {p['goodput_kops']:<7.1f} "
+            f"{p['retries']:<8d} {p['reconnects']}"
+        )
+    show("== resilience: throughput/availability vs fault rate ==\n" + "\n".join(rows))
+    assert os.path.exists(JSON_PATH)
+
+
+def test_no_guarantee_violations_at_any_rate(sweep):
+    assert all(p["violations"] == 0 for p in sweep)
+
+
+def test_zero_rate_injects_nothing(sweep):
+    base = [p for p in sweep if p["fault_rate"] == 0.0]
+    assert base and all(p["faults_injected"] == 0 for p in base)
+    assert all(p["retries"] == 0 and p["reconnects"] == 0 for p in base)
+
+
+def test_faults_cost_goodput_not_availability(sweep):
+    """The resilience layer converts faults into latency (goodput loss),
+    not into failed operations."""
+    for plan, _ in SWEEPS:
+        points = [p for p in sweep if p["plan"] == plan]
+        assert all(p["availability"] == 1.0 for p in points), plan
+        base = next(p for p in points if p["fault_rate"] == 0.0)
+        worst = next(p for p in points if p["fault_rate"] == FAULT_RATES[-1])
+        if worst["faults_injected"] > 0:
+            assert worst["goodput_kops"] <= base["goodput_kops"]

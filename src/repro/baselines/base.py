@@ -31,7 +31,13 @@ from typing import Any, Optional
 from repro.baselines.partition import ObjectLocation, Partition
 from repro.crc.cost import CrcCostModel
 from repro.crc.crc32 import crc32_fast
-from repro.errors import ConfigError, KeyNotFoundError, StoreError
+from repro.errors import (
+    ConfigError,
+    KeyNotFoundError,
+    OperationTimeout,
+    QPError,
+    StoreError,
+)
 from repro.kv.hashtable import (
     HashTableGeometry,
     NvmHashTable,
@@ -51,7 +57,7 @@ from repro.nvm.device import NVMDevice, NVMTiming
 from repro.rdma.fabric import Fabric, Node
 from repro.rdma.mr import MemoryRegion
 from repro.rdma.qp import Endpoint
-from repro.rdma.rpc import RpcClient, RpcServer, rpc_error
+from repro.rdma.rpc import RpcClient, RpcFault, RpcServer, rpc_error, rpc_error_for
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Environment, Event
 
@@ -369,7 +375,7 @@ class BaseServer:
                     p["key"], p["vlen"], p.get("crc", 0), publish=self.publish_on_alloc
                 )
             except StoreError as exc:
-                return rpc_error(str(exc)), RESPONSE_BYTES
+                return rpc_error_for(exc), RESPONSE_BYTES
             self.pending_allocs[p["alloc_id"]] = (loc, entry_off, len(p["key"]), part)
             return (
                 {
@@ -459,6 +465,10 @@ class BaseClient:
         self.rpc = RpcClient(self.ep)
         self.config = server.config
         self._alloc_counter = 0
+        #: Optional :class:`~repro.faults.policy.ClientResilience`
+        #: attached via :meth:`enable_resilience`; None keeps every
+        #: operation single-attempt, bit-for-bit as before.
+        self.resilience = None
         #: Partitions currently running log cleaning (notifications).
         self._cleaning_parts: set[int] = set()
         #: Dedicated notification listener — the client library "thread"
@@ -485,6 +495,78 @@ class BaseClient:
         if self.session.partition_pool_rkeys:
             return self.session.partition_pool_rkeys[part][pool]
         return self.session.pool_rkeys[pool]
+
+    def _note_part(self, part: int) -> None:
+        """Tag the next verb with its partition for fault injection
+        (one-shot; consumed at the verb's injection point in the same
+        kernel step)."""
+        inj = self.server.fabric.injector
+        if inj is not None:
+            inj.set_context_partition(part)
+
+    # -- resilience (opt-in; see repro.faults.policy) ------------------------
+    def enable_resilience(self, policy, rng, tracer=None):
+        """Attach a :class:`~repro.faults.policy.RetryPolicy`: operations
+        issued through :meth:`call_resilient` gain per-attempt timeouts,
+        bounded retries with seeded backoff jitter, and QP re-connect."""
+        from repro.faults.policy import ClientResilience
+
+        self.resilience = ClientResilience(policy, rng, tracer=tracer, name=self.name)
+        return self.resilience
+
+    def call_resilient(
+        self, make_op, *, label: str = "op"
+    ) -> Generator[Event, Any, Any]:
+        """Run ``make_op()`` (a fresh operation generator per attempt)
+        under the attached resilience policy.
+
+        Each attempt races the policy timeout; a transport fault
+        (:class:`QPError`), a retryable :class:`RpcFault`, or a timeout
+        triggers backoff and a retry — re-establishing the QP first when
+        it sits in the error state. Non-retryable faults and exhausted
+        budgets propagate to the caller. With no policy attached this
+        delegates directly, adding no events.
+        """
+        res = self.resilience
+        if res is None:
+            return (yield from make_op())
+        p = res.policy
+        attempt = 0
+        while True:
+            try:
+                if p.timeout_ns > 0:
+                    proc = self.env.process(make_op(), name=f"{self.name}:{label}")
+                    timer = self.env.timeout(p.timeout_ns)
+                    outcome = yield (proc | timer)
+                    if proc in outcome:
+                        return proc.value
+                    # Deadline expired first (e.g. the server's reply was
+                    # dropped and nothing will ever wake us): abandon the
+                    # attempt and treat it as a transport fault.
+                    if proc.is_alive:
+                        proc.interrupt("timeout")
+                    res.note_timeout()
+                    fault = OperationTimeout(
+                        f"{self.name} {label} missed its "
+                        f"{p.timeout_ns:.0f}ns deadline"
+                    )
+                else:
+                    return (yield from make_op())
+            except (QPError, RpcFault) as exc:
+                fault = exc
+            if isinstance(fault, RpcFault) and not fault.retryable:
+                res.note_gave_up(label)
+                raise fault
+            if attempt >= p.max_retries:
+                res.note_gave_up(label)
+                raise fault
+            attempt += 1
+            if self.ep.in_error or isinstance(fault, OperationTimeout):
+                yield self.env.timeout(p.reconnect_ns)
+                self.ep.reset()
+                res.note_reconnect()
+            res.note_retry(label, attempt, type(fault).__name__)
+            yield self.env.timeout(res.backoff_ns(attempt))
 
     # -- notifications (log cleaning, §4.4) --------------------------------------
     @property
@@ -546,6 +628,22 @@ class BaseClient:
         serially, which no competent implementation does.
         """
         crc = crc32_fast(value) if with_crc else 0
+        if self.resilience is not None:
+            # Retry at whole-PUT granularity: after a transport fault the
+            # first allocation's slot may already have been invalidated by
+            # the server's verify timeout (§4.3.2 treats a write that
+            # missed its window as never-completed), so re-WRITing it
+            # would ack into a dead slot. A fresh alloc gets a fresh slot
+            # and a fresh verification window.
+            yield from self.call_resilient(
+                lambda: self._put_attempt(key, value, crc, with_crc), label="put"
+            )
+        else:
+            yield from self._put_attempt(key, value, crc, with_crc)
+
+    def _put_attempt(
+        self, key: bytes, value: bytes, crc: int, with_crc: bool
+    ) -> Generator[Event, Any, None]:
         t0 = self.env.now
         resp = yield from self.alloc_rpc(key, len(value), crc)
         if with_crc:
@@ -567,7 +665,9 @@ class BaseClient:
         return resp
 
     def write_value(self, alloc_resp: dict, value: bytes) -> Generator[Event, Any, None]:
-        rkey = self._pool_rkey(alloc_resp.get("part", 0), alloc_resp["pool"])
+        part = alloc_resp.get("part", 0)
+        rkey = self._pool_rkey(part, alloc_resp["pool"])
+        self._note_part(part)
         yield from self.ep.write(rkey, alloc_resp["value_off"], value)
 
     # -- pure-RDMA GET helpers (steps 1-4 of Figure 6) ---------------------------
@@ -577,6 +677,7 @@ class BaseClient:
         fp = key_fingerprint(key)
         part = self.partition_of(fp)
         geom = self.session.geometry
+        self._note_part(part)
         raw = yield from self.ep.read(
             self.session.table_rkey,
             self.session.partition_table_offsets[part]
@@ -588,6 +689,7 @@ class BaseClient:
     def read_object_at(
         self, slot: Slot, part: int = 0
     ) -> Generator[Event, Any, ObjectImage]:
+        self._note_part(part)
         raw = yield from self.ep.read(
             self._pool_rkey(part, slot.pool), slot.offset, slot.size
         )
@@ -596,6 +698,7 @@ class BaseClient:
     def read_object_loc(
         self, pool: int, offset: int, size: int, part: int = 0
     ) -> Generator[Event, Any, ObjectImage]:
+        self._note_part(part)
         raw = yield from self.ep.read(self._pool_rkey(part, pool), offset, size)
         return parse_object(raw)
 

@@ -38,7 +38,7 @@ from repro.kv.objects import (
     object_size,
     pack_ptr,
 )
-from repro.rdma.rpc import rpc_error
+from repro.rdma.rpc import rpc_error_for
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Event
 
@@ -85,7 +85,7 @@ class ErdaServer(BaseServer):
         try:
             offset = pool.allocate(size)
         except StoreError as exc:
-            return rpc_error(str(exc)), RESPONSE_BYTES
+            return rpc_error_for(exc), RESPONSE_BYTES
 
         yield self.env.timeout(cfg.index_ns)
         fp = _fp(key)

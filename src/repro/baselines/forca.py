@@ -27,7 +27,7 @@ from repro.baselines.base import (
     StoreConfig,
 )
 from repro.kv.objects import HEADER_SIZE, object_size, parse_header, unpack_ptr
-from repro.rdma.rpc import rpc_error
+from repro.rdma.rpc import ERR_NO_INTACT, ERR_NOT_FOUND, rpc_error
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Event
 
@@ -59,10 +59,10 @@ class ForcaServer(BaseServer):
             yield self.env.timeout(cfg.index_ns + cfg.meta_indirection_ns)
             found = part.lookup_slot(key)
             if found is None:
-                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+                return rpc_error(f"key {key!r} not found", ERR_NOT_FOUND), RESPONSE_BYTES
             _entry_off, cur, _alt = found
             if cur is None:
-                return rpc_error(f"key {key!r} has no version"), RESPONSE_BYTES
+                return rpc_error(f"key {key!r} has no version", ERR_NOT_FOUND), RESPONSE_BYTES
 
             loc: Optional[ObjectLocation] = ObjectLocation(
                 pool=cur.pool, offset=cur.offset, size=cur.size
@@ -82,7 +82,7 @@ class ForcaServer(BaseServer):
                         RESPONSE_BYTES,
                     )
                 loc = self._previous_location(part, img)
-            return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+            return rpc_error(f"key {key!r}: no intact version", ERR_NO_INTACT), RESPONSE_BYTES
         finally:
             part.release_budget(budget)
 

@@ -25,7 +25,7 @@ from repro.baselines.base import (
     StoreConfig,
 )
 from repro.kv.objects import FLAG_DURABLE, FLAG_VALID, HEADER_SIZE
-from repro.rdma.rpc import rpc_error
+from repro.rdma.rpc import ERR_NOT_FOUND, rpc_error
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Event
 
@@ -75,7 +75,7 @@ class RpcStoreServer(BaseServer):
             yield self.env.timeout(self.config.index_ns)
             found = part.lookup_slot(key)
             if found is None or found[1] is None:
-                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+                return rpc_error(f"key {key!r} not found", ERR_NOT_FOUND), RESPONSE_BYTES
             _entry_off, cur, _alt = found
             loc_img = part.read_object(
                 # metadata published only after durability => object intact
@@ -104,15 +104,21 @@ def _loc_from_slot(slot):
 
 class RpcStoreClient(BaseClient):
     def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
-        yield from self.rpc.call(
-            {"op": "put", "key": key, "value": value},
-            PUT_REQUEST_OVERHEAD + len(key) + len(value),
+        yield from self.call_resilient(
+            lambda: self.rpc.call(
+                {"op": "put", "key": key, "value": value},
+                PUT_REQUEST_OVERHEAD + len(key) + len(value),
+            ),
+            label="put.rpc",
         )
 
     def get(
         self, key: bytes, size_hint: Optional[int] = None
     ) -> Generator[Event, Any, bytes]:
-        resp = yield from self.rpc.call(
-            {"op": "get", "key": key}, GET_REQUEST_OVERHEAD + len(key)
+        resp = yield from self.call_resilient(
+            lambda: self.rpc.call(
+                {"op": "get", "key": key}, GET_REQUEST_OVERHEAD + len(key)
+            ),
+            label="get.rpc",
         )
         return resp["value"]

@@ -22,7 +22,7 @@ from repro.baselines.base import (
 )
 from repro.errors import KeyNotFoundError
 from repro.kv.objects import FLAG_DURABLE
-from repro.rdma.rpc import rpc_error
+from repro.rdma.rpc import ERR_UNKNOWN_ALLOC, rpc_error
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Event
 
@@ -45,7 +45,7 @@ class SAWServer(BaseServer):
     def _handle_persist(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         pending = self.pending_allocs.pop(msg.payload["alloc_id"], None)
         if pending is None:
-            return rpc_error("unknown alloc_id"), RESPONSE_BYTES
+            return rpc_error("unknown alloc_id", ERR_UNKNOWN_ALLOC), RESPONSE_BYTES
         loc, entry_off, _klen, part = pending
         budget = yield from part.acquire_budget()
         try:

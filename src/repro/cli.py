@@ -23,7 +23,9 @@ from typing import Any, Optional, Sequence
 from repro._version import __version__
 from repro.analysis.stats import fmt_mops, fmt_ns
 from repro.analysis.tables import Table, banner
+from repro.faults.plans import shipped_plan_names
 from repro.harness import experiments as exp
+from repro.harness.chaos import ChaosSpec, run_chaos_experiment
 from repro.harness.crash import CrashSpec, run_crash_experiment
 from repro.harness.repeat import run_replicated
 from repro.harness.runner import RunSpec
@@ -78,6 +80,32 @@ def build_parser() -> argparse.ArgumentParser:
     crash_p.add_argument("--seeds", type=int, nargs="+", default=[7, 11, 13])
     crash_p.add_argument("--evict", type=float, default=0.35)
     crash_p.add_argument("--json", metavar="PATH", default=None)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection run + consistency audit"
+    )
+    chaos_p.add_argument("--store", required=True, choices=store_names())
+    chaos_p.add_argument(
+        "--plan",
+        default="qp-flap",
+        choices=shipped_plan_names() + ["all"],
+        help="shipped fault plan to arm ('all' sweeps every plan)",
+    )
+    chaos_p.add_argument("--seeds", type=int, nargs="+", default=[7])
+    chaos_p.add_argument("--clients", type=int, default=2)
+    chaos_p.add_argument("--ops", type=int, default=60)
+    chaos_p.add_argument("--keys", type=int, default=24)
+    chaos_p.add_argument("--value-size", type=int, default=128)
+    chaos_p.add_argument(
+        "--partitions", type=int, default=1,
+        help="shard the server into N partitions",
+    )
+    chaos_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any advertised guarantee was violated",
+    )
+    chaos_p.add_argument("--json", metavar="PATH", default=None)
 
     part_p = sub.add_parser(
         "partitions", help="partition-scaling sweep (throughput + recovery)"
@@ -217,6 +245,51 @@ def _cmd_crash(args: argparse.Namespace) -> tuple[str, Any]:
     return banner(title) + "\n" + table.render(), payload
 
 
+def _cmd_chaos(args: argparse.Namespace) -> tuple[str, Any, int]:
+    plans = shipped_plan_names() if args.plan == "all" else [args.plan]
+    overrides = (
+        {"num_partitions": args.partitions} if args.partitions != 1 else {}
+    )
+    reports = [
+        run_chaos_experiment(
+            ChaosSpec(
+                store=args.store,
+                plan=plan,
+                seed=seed,
+                n_clients=args.clients,
+                ops_per_client=args.ops,
+                key_count=args.keys,
+                value_len=args.value_size,
+                config_overrides=overrides,
+            )
+        )
+        for plan in plans
+        for seed in args.seeds
+    ]
+    table = Table(
+        ["plan", "seed", "ops", "avail", "faults", "retries", "timeouts", "verdict"]
+    )
+    for r in reports:
+        res = r.resilience
+        table.add(
+            r.plan_name,
+            r.spec.seed,
+            r.attempted_ops,
+            f"{r.availability:.3f}",
+            len(r.fault_schedule),
+            res.get("retries", 0),
+            res.get("timeouts", 0),
+            "ok" if r.ok else "; ".join(r.violations[:2]),
+        )
+    bad = sum(1 for r in reports if not r.ok)
+    title = f"chaos audit: {STORES[args.store].label}"
+    text = banner(title) + "\n" + table.render()
+    if bad:
+        text += f"\n{bad} run(s) violated advertised guarantees"
+    status = 1 if (bad and args.strict) else 0
+    return text, [r.as_dict() for r in reports], status
+
+
 def _cmd_partitions(args: argparse.Namespace) -> tuple[str, Any]:
     counts = tuple(args.counts)
     tput = exp.partition_scaling(
@@ -242,6 +315,7 @@ def _jsonable(obj: Any) -> Any:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    status = 0
     if args.command == "list":
         text, payload = _cmd_list()
     elif args.command == "run":
@@ -250,6 +324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _cmd_fig(args)
     elif args.command == "crash":
         text, payload = _cmd_crash(args)
+    elif args.command == "chaos":
+        text, payload, status = _cmd_chaos(args)
     elif args.command == "partitions":
         text, payload = _cmd_partitions(args)
     else:  # pragma: no cover - argparse enforces choices
@@ -260,7 +336,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(json_path, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"(json written to {json_path})")
-    return 0
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -84,6 +84,11 @@ class BackgroundVerifier:
         cfg = self.server.config
         try:
             while True:
+                inj = self.server.fabric.injector
+                if inj is not None:
+                    act = inj.fire("bg.verifier", partition=self.part.part_id)
+                    if act is not None and act.kind == "pause":
+                        yield self.env.timeout(act.delay_ns)
                 loc = self._next_due()
                 if loc is None:
                     yield self.env.timeout(cfg.bg_idle_poll_ns)

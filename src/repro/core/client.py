@@ -21,6 +21,7 @@ from typing import Any, Optional
 
 from repro.baselines.base import BaseClient, GET_REQUEST_OVERHEAD
 from repro.core.config import EFactoryConfig
+from repro.errors import OperationTimeout, QPError
 from repro.kv.hashtable import key_fingerprint
 from repro.sim.kernel import Event
 
@@ -36,6 +37,9 @@ class EFactoryClient(BaseClient):
         self.pure_reads = 0
         self.fallback_reads = 0
         self.rpc_only_reads = 0
+        #: Reads routed straight to RPC because resilience demoted the
+        #: key's partition (graceful degradation under injected faults).
+        self.degraded_reads = 0
         #: adaptive-read extension: key -> time until which the pure
         #: attempt is skipped (set after a fallback on that key).
         self._skip_until: dict[bytes, float] = {}
@@ -54,8 +58,28 @@ class EFactoryClient(BaseClient):
             self.rpc_only_reads += 1
             return (yield from self._rpc_read(key))
         part = self.partition_of(key_fingerprint(key))
-        if not self.partition_cleaning(part) and not self._skip(key, cfg):
-            value = yield from self._try_pure_read(key, part)
+        res = self.resilience
+        degraded = res is not None and res.partition_degraded(part, self.env.now)
+        if degraded:
+            self.degraded_reads += 1
+        elif not self.partition_cleaning(part) and not self._skip(key, cfg):
+            try:
+                value = yield from self._try_pure_read(key, part)
+            except (QPError, OperationTimeout):
+                # Transport fault on the one-sided path: note it (enough
+                # consecutive ones demote this partition to the RPC
+                # path), heal the QP, and fall back for this read.
+                if res is None:
+                    raise
+                res.note_pure_fault(part, self.env.now)
+                if self.ep.in_error:
+                    yield self.env.timeout(res.policy.reconnect_ns)
+                    self.ep.reset()
+                    res.note_reconnect()
+                value = None
+            else:
+                if res is not None:
+                    res.note_pure_ok(part)
             if value is not None:
                 self.pure_reads += 1
                 self._skip_until.pop(key, None)
@@ -95,6 +119,16 @@ class EFactoryClient(BaseClient):
         return None  # incomplete / not yet durable: re-read via RPC
 
     def _rpc_read(self, key: bytes) -> Generator[Event, Any, bytes]:
+        """Steps 5-9 (retried under the resilience policy when attached)."""
+        if self.resilience is not None:
+            return (
+                yield from self.call_resilient(
+                    lambda: self._rpc_read_once(key), label="get.rpc"
+                )
+            )
+        return (yield from self._rpc_read_once(key))
+
+    def _rpc_read_once(self, key: bytes) -> Generator[Event, Any, bytes]:
         """Steps 5-9: RPC resolves a durable location, then one READ."""
         resp = yield from self.rpc.call(
             {"op": "get_loc", "key": key}, GET_REQUEST_OVERHEAD + len(key)
@@ -116,4 +150,5 @@ class EFactoryClient(BaseClient):
             "pure": self.pure_reads,
             "fallback": self.fallback_reads,
             "rpc_only": self.rpc_only_reads,
+            "degraded": self.degraded_reads,
         }

@@ -165,6 +165,16 @@ class LogCleaner:
     def note_ack(self) -> None:
         self._acks_pending = max(0, self._acks_pending - 1)
 
+    def _maybe_pause(self) -> Generator[Event, Any, None]:
+        """Fault-injection point ahead of each scan step (site
+        ``bg.cleaner``); free when no injector is armed."""
+        inj = self.server.fabric.injector
+        if inj is None:
+            return
+        act = inj.fire("bg.cleaner", partition=self.part.part_id)
+        if act is not None and act.kind == "pause":
+            yield self.env.timeout(act.delay_ns)
+
     # -- the cycle ------------------------------------------------------------
     def _run(self) -> Generator[Event, Any, None]:
         part = self.part
@@ -216,6 +226,7 @@ class LogCleaner:
         seen: set[int] = set()
         touched: set[int] = set()
         for alloc in reversed(snapshot):
+            yield from self._maybe_pause()
             yield self.env.timeout(_SCAN_NS)
             ident = self._identify(old, alloc.offset)
             if ident is None:
@@ -251,6 +262,7 @@ class LogCleaner:
         seen: set[int] = set()
         touched: set[int] = set()
         for alloc in reversed(stage1_writes):
+            yield from self._maybe_pause()
             yield self.env.timeout(_SCAN_NS)
             ident = self._identify(old, alloc.offset)
             if ident is None:

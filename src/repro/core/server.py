@@ -28,7 +28,7 @@ from repro.core.background import BackgroundVerifier, VerifierGroup
 from repro.core.config import EFactoryConfig, efactory_config
 from repro.kv.objects import FLAG_VALID
 from repro.rdma.fabric import Fabric
-from repro.rdma.rpc import rpc_error
+from repro.rdma.rpc import ERR_NO_INTACT, ERR_NOT_FOUND, rpc_error
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Environment, Event
 
@@ -117,7 +117,7 @@ class EFactoryServer(BaseServer):
             yield self.env.timeout(cfg.index_ns)
             found = part.lookup_slot(key)
             if found is None:
-                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+                return rpc_error(f"key {key!r} not found", ERR_NOT_FOUND), RESPONSE_BYTES
             _entry_off, cur, alt = found
 
             # Walk the version list from the latest version (step 7).
@@ -142,7 +142,7 @@ class EFactoryServer(BaseServer):
                          "size": loc.size, "part": part.part_id},
                         RESPONSE_BYTES,
                     )
-            return rpc_error(f"key {key!r}: no intact version"), RESPONSE_BYTES
+            return rpc_error(f"key {key!r}: no intact version", ERR_NO_INTACT), RESPONSE_BYTES
         finally:
             part.release_budget(budget)
 
@@ -181,7 +181,7 @@ class EFactoryServer(BaseServer):
             yield self.env.timeout(cfg.index_ns)
             found = part.lookup_slot(key)
             if found is None or found[1] is None:
-                return rpc_error(f"key {key!r} not found"), RESPONSE_BYTES
+                return rpc_error(f"key {key!r} not found", ERR_NOT_FOUND), RESPONSE_BYTES
             entry_off, cur, _alt = found
             loc = _loc(cur)
             img = part.read_object(loc)

@@ -17,6 +17,7 @@ __all__ = [
     "ProtectionError",
     "RDMAError",
     "QPError",
+    "OperationTimeout",
     "StoreError",
     "KeyNotFoundError",
     "PoolExhaustedError",
@@ -52,7 +53,22 @@ class RDMAError(ReproError):
 
 class QPError(RDMAError):
     """A queue-pair level failure: posting to a dead QP, receive queue
-    underflow for two-sided traffic, and similar conditions."""
+    underflow for two-sided traffic, and similar conditions.
+
+    ``code`` lets retry policies distinguish fault classes without
+    parsing messages: ``"qp_error"`` (error-state transition),
+    ``"completion_lost"`` (dropped completion), ``"target_down"``
+    (node crash), ...
+    """
+
+    def __init__(self, message: str = "", code: str = "qp_error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class OperationTimeout(RDMAError):
+    """A client-side operation exceeded its resilience-policy deadline
+    before its completion (or RPC response) arrived."""
 
 
 class StoreError(ReproError):

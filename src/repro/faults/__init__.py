@@ -1,0 +1,47 @@
+"""Deterministic fault injection and client resilience.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` /
+  :class:`FaultRule` specs: *which* fault, *where* in the stack, *when*
+  (op window, time window, partition, seeded probability);
+* :mod:`repro.faults.injector` — the armed :class:`FaultInjector`
+  consulted by zero-cost hooks in the RDMA verbs, the RPC dispatch
+  loop, the NVM persist path and the background threads;
+* :mod:`repro.faults.policy` — the client-side :class:`RetryPolicy` /
+  :class:`ClientResilience` machinery (timeout, backoff + jitter,
+  re-connect, per-partition graceful degradation).
+
+:mod:`repro.faults.plans` ships the canned chaos scenarios exercised by
+``python -m repro chaos`` and CI.
+"""
+
+from repro.faults.injector import (
+    FaultAction,
+    FaultEvent,
+    FaultInjector,
+    arm_store,
+    disarm_store,
+)
+from repro.faults.plan import FAULT_KINDS, FaultKind, FaultPlan, FaultRule, site_matches
+from repro.faults.plans import SHIPPED_PLANS, shipped_plan, shipped_plan_names
+from repro.faults.policy import ClientResilience, PartitionHealth, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "SHIPPED_PLANS",
+    "ClientResilience",
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "PartitionHealth",
+    "RetryPolicy",
+    "arm_store",
+    "disarm_store",
+    "shipped_plan",
+    "shipped_plan_names",
+    "site_matches",
+]

@@ -1,0 +1,145 @@
+"""Shipped fault plans: the canned chaos scenarios CI sweeps.
+
+Each builder returns a :class:`~repro.faults.plan.FaultPlan` sized so a
+short seeded run (a few hundred operations) sees a meaningful number of
+faults without starving the workload. They are the repo's standing
+robustness gauntlet: the chaos CI job asserts zero advertised-guarantee
+violations for every plan here, so adding a plan extends the guarantee
+surface the repo defends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = ["SHIPPED_PLANS", "shipped_plan", "shipped_plan_names"]
+
+
+def qp_flap(probability: float = 0.01) -> FaultPlan:
+    """Random QP-to-error transitions across every verb; the client must
+    re-connect and retry."""
+    return FaultPlan(
+        "qp-flap",
+        (FaultRule(kind="qp_error", site="qp.*", probability=probability),),
+        description="random QP error-state transitions on all verbs",
+    )
+
+
+def drop_completions(
+    probability: float = 0.015, detect_ns: float = 20_000.0
+) -> FaultPlan:
+    """WRITE/READ work requests vanish; the initiator burns ``detect_ns``
+    of transport retries before the QP errors out."""
+    return FaultPlan(
+        "drop-completions",
+        (
+            FaultRule(
+                kind="completion_drop",
+                site="qp.write",
+                probability=probability,
+                delay_ns=detect_ns,
+            ),
+            FaultRule(
+                kind="completion_drop",
+                site="qp.read",
+                probability=probability,
+                delay_ns=detect_ns,
+            ),
+        ),
+        description="lost one-sided completions with detection latency",
+    )
+
+
+def slow_nvm(factor: float = 8.0, probability: float = 0.3) -> FaultPlan:
+    """NVM flush latency spikes (media congestion): a fraction of
+    CLWB+fence sweeps cost ``factor``x."""
+    return FaultPlan(
+        "slow-nvm",
+        (
+            FaultRule(
+                kind="nvm_spike",
+                site="nvm.persist",
+                probability=probability,
+                factor=factor,
+                delay_ns=2_000.0,
+            ),
+        ),
+        description="NVM flush latency spikes on the persist path",
+    )
+
+
+def rpc_stall(delay_ns: float = 50_000.0, probability: float = 0.05) -> FaultPlan:
+    """The server's dispatch thread occasionally stalls (scheduling
+    hiccup, cache thrash) before picking up the next request."""
+    return FaultPlan(
+        "rpc-stall",
+        (
+            FaultRule(
+                kind="rpc_stall",
+                site="rpc.dispatch",
+                probability=probability,
+                delay_ns=delay_ns,
+            ),
+        ),
+        description="server RPC dispatch stalls",
+    )
+
+
+def verifier_pause(delay_ns: float = 200_000.0, probability: float = 0.1) -> FaultPlan:
+    """The background verifier keeps pausing, so durability flags lag
+    and reads must lean on the RPC path's on-demand verification."""
+    return FaultPlan(
+        "verifier-pause",
+        (
+            FaultRule(
+                kind="pause",
+                site="bg.verifier",
+                probability=probability,
+                delay_ns=delay_ns,
+            ),
+        ),
+        description="stalled background verifier",
+    )
+
+
+def jittery_fabric(delay_ns: float = 15_000.0, probability: float = 0.05) -> FaultPlan:
+    """Fat-tailed completion delays on every verb (congested fabric)."""
+    return FaultPlan(
+        "jittery-fabric",
+        (
+            FaultRule(
+                kind="completion_delay",
+                site="qp.*",
+                probability=probability,
+                delay_ns=delay_ns,
+            ),
+        ),
+        description="heavy-tailed verb completion delays",
+    )
+
+
+SHIPPED_PLANS: dict[str, Callable[..., FaultPlan]] = {
+    "qp-flap": qp_flap,
+    "drop-completions": drop_completions,
+    "slow-nvm": slow_nvm,
+    "rpc-stall": rpc_stall,
+    "verifier-pause": verifier_pause,
+    "jittery-fabric": jittery_fabric,
+}
+
+
+def shipped_plan_names() -> list[str]:
+    return list(SHIPPED_PLANS)
+
+
+def shipped_plan(name: str, **overrides) -> FaultPlan:
+    """Build a shipped plan by name (optionally re-parameterised)."""
+    builder = SHIPPED_PLANS.get(name)
+    if builder is None:
+        raise ConfigError(
+            f"unknown fault plan {name!r}; known: {shipped_plan_names()}"
+        )
+    return builder(**overrides)

@@ -1,5 +1,6 @@
-"""Experiment harness: runner, metrics, crash oracle, canned figures."""
+"""Experiment harness: runner, metrics, crash/chaos oracles, canned figures."""
 
+from repro.harness.chaos import ChaosReport, ChaosSpec, run_chaos_experiment
 from repro.harness.crash import (
     CrashReport,
     CrashSpec,
@@ -12,6 +13,8 @@ from repro.harness.runner import RunResult, RunSpec, run_experiment, size_pool_f
 
 __all__ = [
     "Aggregate",
+    "ChaosReport",
+    "ChaosSpec",
     "CrashReport",
     "CrashSpec",
     "KeyAudit",
@@ -20,6 +23,7 @@ __all__ = [
     "ReplicatedResult",
     "RunResult",
     "RunSpec",
+    "run_chaos_experiment",
     "run_crash_experiment",
     "run_experiment",
     "run_replicated",

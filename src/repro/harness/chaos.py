@@ -1,0 +1,277 @@
+"""Chaos harness: run a store under an armed fault plan and audit it.
+
+One chaos run = one fresh simulation: deploy a store, preload its keys,
+arm a :class:`~repro.faults.plan.FaultPlan`, drive a mixed closed-loop
+workload through clients carrying a
+:class:`~repro.faults.policy.RetryPolicy`, then disarm, let the
+background machinery settle, and audit the surviving state through real
+client GETs — the consistency oracle for the no-crash fault regime.
+
+The oracle's invariants (per key, single writer per key):
+
+* **intact** — the returned value parses as one of ours (stores that
+  advertise consistent GETs must never serve torn bytes);
+* **no lost acks** — the version read is at least the last *acknowledged*
+  write (no crash happened, so every acked write must survive);
+* **no phantoms** — the version read is at most the last *issued* write
+  (an unacked attempt may land — at-least-once — but nothing the
+  workload never wrote may appear).
+
+Determinism: the whole run — fault schedule, retry counts, oracle
+verdict — is a pure function of ``(store, plan, seed, workload shape)``;
+:func:`run_chaos_experiment` is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import OperationTimeout, RDMAError, StoreError
+from repro.faults.injector import arm_store, disarm_store
+from repro.faults.plan import FaultPlan
+from repro.faults.plans import shipped_plan
+from repro.faults.policy import RetryPolicy
+from repro.rdma.rpc import ERR_NOT_FOUND, RpcFault
+from repro.sim.kernel import Environment, Event
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.stores import STORES, build_store
+from repro.workloads.keyspace import make_key, make_value, parse_value
+
+__all__ = ["ChaosSpec", "ChaosReport", "run_chaos_experiment"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Everything needed to reproduce one chaos run."""
+
+    store: str = "efactory"
+    plan: str = "qp-flap"  # shipped plan name (ignored when a plan object is passed)
+    seed: int = 42
+    n_clients: int = 2
+    ops_per_client: int = 80
+    key_count: int = 24
+    key_len: int = 16
+    value_len: int = 128
+    put_fraction: float = 0.5
+    settle_ns: float = 30_000_000.0
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    config_overrides: dict = field(default_factory=dict)
+    plan_overrides: dict = field(default_factory=dict)
+    trace: bool = False
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    spec: ChaosSpec
+    plan_name: str
+    attempted_ops: int
+    completed_ops: int
+    failed_ops: int
+    #: The injected fault schedule, in firing order (comparable tuples:
+    #: time, site, kind, rule, op-index, partition).
+    fault_schedule: list[tuple]
+    fault_counts: dict[str, int]
+    #: Aggregated client resilience counters (retries, timeouts, ...).
+    resilience: dict[str, int]
+    #: Advertised-guarantee violations found by the post-run audit.
+    violations: list[str]
+    #: Observed weaknesses that the store never promised to avoid.
+    weaknesses: list[str]
+    audited_keys: int
+    degraded_reads: int
+    wall_ns: float
+    trace_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        if self.attempted_ops == 0:
+            return 1.0
+        return self.completed_ops / self.attempted_ops
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "store": self.spec.store,
+            "plan": self.plan_name,
+            "seed": self.spec.seed,
+            "attempted_ops": self.attempted_ops,
+            "completed_ops": self.completed_ops,
+            "failed_ops": self.failed_ops,
+            "availability": self.availability,
+            "faults_injected": len(self.fault_schedule),
+            "fault_counts": dict(self.fault_counts),
+            "resilience": dict(self.resilience),
+            "violations": list(self.violations),
+            "weaknesses": list(self.weaknesses),
+            "audited_keys": self.audited_keys,
+            "degraded_reads": self.degraded_reads,
+            "wall_ns": self.wall_ns,
+        }
+
+
+def _pool_size_for(spec: ChaosSpec) -> int:
+    obj = 64 + spec.key_len + spec.value_len
+    total_puts = spec.key_count + spec.n_clients * spec.ops_per_client
+    # retries can allocate more than once per PUT; leave ample headroom
+    return max(32 << 20, int(total_puts * obj * 4))
+
+
+def run_chaos_experiment(
+    spec: ChaosSpec, plan: Optional[FaultPlan] = None
+) -> ChaosReport:
+    """Execute one chaos run in a fresh simulation environment."""
+    env = Environment()
+    rngs = RngRegistry(spec.seed)
+    tracer = Tracer(env) if spec.trace else None
+    plan = plan if plan is not None else shipped_plan(spec.plan, **spec.plan_overrides)
+
+    overrides: dict[str, Any] = {"pool_size": _pool_size_for(spec)}
+    if spec.store.startswith("efactory"):
+        overrides["auto_clean"] = False
+    overrides.update(spec.config_overrides)
+    setup = build_store(
+        spec.store, env, config_overrides=overrides, n_clients=spec.n_clients
+    ).start()
+    for client in setup.clients:
+        client.enable_resilience(
+            spec.policy, rngs.stream(f"resilience.{client.name}"), tracer=tracer
+        )
+
+    keys = [make_key(k, spec.key_len) for k in range(spec.key_count)]
+    # Single writer per key: key k belongs to client k % n_clients, so
+    # "last acked version" is well-defined without cross-client ordering.
+    issued = [0] * spec.key_count
+    acked = [0] * spec.key_count
+
+    # -- preload (faults not armed yet: the baseline state is healthy) ------
+    def preload() -> Generator[Event, Any, None]:
+        client = setup.client(0)
+        for kid in range(spec.key_count):
+            yield from client.put(keys[kid], make_value(kid, 0, spec.value_len))
+
+    env.run(env.process(preload(), name="chaos-preload"))
+    _settle(env, setup, spec.settle_ns)
+
+    # -- the faulted window --------------------------------------------------
+    injector = arm_store(setup, plan, rngs=rngs, tracer=tracer)
+    stats = {"attempted": 0, "completed": 0, "failed": 0}
+    t_armed = env.now
+
+    def client_proc(i: int) -> Generator[Event, Any, None]:
+        client = setup.client(i)
+        rng = rngs.stream(f"chaos.client{i}")
+        my_keys = [k for k in range(spec.key_count) if k % spec.n_clients == i]
+        for _ in range(spec.ops_per_client):
+            yield from client.poll_notifications()
+            do_put = bool(my_keys) and rng.random() < spec.put_fraction
+            stats["attempted"] += 1
+            try:
+                if do_put:
+                    kid = int(my_keys[int(rng.integers(len(my_keys)))])
+                    issued[kid] += 1
+                    ver = issued[kid]
+                    yield from client.put(
+                        keys[kid], make_value(kid, ver, spec.value_len)
+                    )
+                    acked[kid] = max(acked[kid], ver)
+                else:
+                    kid = int(rng.integers(spec.key_count))
+                    yield from client.get(keys[kid], size_hint=spec.value_len)
+            except (StoreError, RDMAError, OperationTimeout):
+                stats["failed"] += 1
+                continue
+            stats["completed"] += 1
+
+    procs = [
+        env.process(client_proc(i), name=f"chaos-client{i}")
+        for i in range(spec.n_clients)
+    ]
+    env.run(env.all_of(procs))
+    wall_ns = env.now - t_armed
+
+    # -- disarm, heal, settle -------------------------------------------------
+    disarm_store(setup)
+    for client in setup.clients:
+        client.ep.reset()  # clear any residual QP error state
+    _settle(env, setup, spec.settle_ns)
+
+    # -- audit through real client GETs --------------------------------------
+    # Raw slot reads would misreport legitimately-invalidated versions
+    # (publish-on-alloc indexes not-yet-durable objects); the advertised
+    # guarantee is about what GET *returns*, so that is what we check.
+    consistent = STORES[spec.store].consistent_get
+    violations: list[str] = []
+    weaknesses: list[str] = []
+
+    def audit() -> Generator[Event, Any, None]:
+        client = setup.client(0)
+        for kid in range(spec.key_count):
+            try:
+                value = yield from client.get(keys[kid], size_hint=spec.value_len)
+            except (RpcFault, StoreError) as exc:
+                code = getattr(exc, "code", "")
+                problem = f"key {kid}: GET failed after faults cleared ({code or exc})"
+                if isinstance(exc, RpcFault) and code == ERR_NOT_FOUND:
+                    problem = f"key {kid}: lost (not found after faults cleared)"
+                violations.append(problem)
+                continue
+            parsed = parse_value(value)
+            if parsed is None or parsed[0] != kid:
+                msg = f"key {kid}: torn or foreign value returned"
+                (violations if consistent else weaknesses).append(msg)
+                continue
+            ver = parsed[1]
+            if ver < acked[kid]:
+                violations.append(
+                    f"key {kid}: acked version {acked[kid]} lost (read {ver})"
+                )
+            elif ver > issued[kid]:
+                violations.append(
+                    f"key {kid}: phantom version {ver} (> issued {issued[kid]})"
+                )
+
+    env.run(env.process(audit(), name="chaos-audit"))
+    setup.server.stop()
+
+    resilience: dict[str, int] = {}
+    for client in setup.clients:
+        for name, count in client.resilience.snapshot().items():
+            resilience[name] = resilience.get(name, 0) + count
+    degraded = sum(getattr(c, "degraded_reads", 0) for c in setup.clients)
+
+    return ChaosReport(
+        spec=spec,
+        plan_name=plan.name,
+        attempted_ops=stats["attempted"],
+        completed_ops=stats["completed"],
+        failed_ops=stats["failed"],
+        fault_schedule=injector.schedule(),
+        fault_counts=injector.counts(),
+        resilience=resilience,
+        violations=violations,
+        weaknesses=weaknesses,
+        audited_keys=spec.key_count,
+        degraded_reads=degraded,
+        wall_ns=wall_ns,
+        trace_counts=tracer.counts() if tracer is not None else {},
+    )
+
+
+def _settle(env: Environment, setup: Any, settle_ns: float) -> None:
+    """Let asynchronous machinery (the background verifier) drain."""
+    if settle_ns <= 0:
+        return
+    deadline = env.now + settle_ns
+    background = getattr(setup.server, "background", None)
+    while env.now < deadline:
+        env.run(until=min(deadline, env.now + 50_000.0))
+        if background is None or background.backlog == 0:
+            break

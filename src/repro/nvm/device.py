@@ -88,7 +88,7 @@ class NVMTiming:
 class NVMDevice:
     """A simulated NVMM DIMM-set (see module docstring)."""
 
-    __slots__ = ("env", "name", "timing", "buffer")
+    __slots__ = ("env", "name", "timing", "buffer", "injector")
 
     def __init__(
         self,
@@ -101,6 +101,9 @@ class NVMDevice:
         self.name = name
         self.timing = timing or NVMTiming()
         self.buffer = PersistentBuffer(size)
+        #: Armed fault injector (:mod:`repro.faults`), or None; the
+        #: persist path checks this one attribute per flush.
+        self.injector = None
 
     @property
     def size(self) -> int:
@@ -147,7 +150,13 @@ class NVMDevice:
         (real code cannot skip clean lines it does not know about) plus
         one fence; the state transition only copies dirty lines.
         """
-        yield self.env.timeout(self.timing.flush_cost(length))
+        cost = self.timing.flush_cost(length)
+        if self.injector is not None:
+            act = self.injector.fire("nvm.persist")
+            if act is not None and act.kind == "nvm_spike":
+                # Media congestion / write-pressure throttling spike.
+                cost = cost * act.factor + act.delay_ns
+        yield self.env.timeout(cost)
         return self.buffer.flush(addr, length)
 
     # -- crash -----------------------------------------------------------------

@@ -125,6 +125,10 @@ class Fabric:
         #: meaningful; deterministic given ``jitter_seed``.
         self.jitter_ns = jitter_ns
         self._jitter_rng = np.random.default_rng(jitter_seed)
+        #: Armed fault injector (:mod:`repro.faults`), or None. Verb
+        #: hooks check this one attribute, so an unarmed fabric costs
+        #: nothing (the :mod:`repro.sim.trace` pattern).
+        self.injector = None
 
     def jitter(self) -> float:
         """One sample of per-work-request latency noise."""
@@ -244,4 +248,4 @@ class Fabric:
     # -- helpers ---------------------------------------------------------------
     def check_target(self, node: Node) -> None:
         if not node.alive:
-            raise QPError(f"target node {node.name} is down")
+            raise QPError(f"target node {node.name} is down", code="target_down")

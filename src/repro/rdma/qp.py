@@ -55,7 +55,7 @@ def _tx_engine(fabric, node, nbytes: int) -> Generator[Event, Any, None]:
 class Endpoint:
     """One side of a reliable connection (see module docstring)."""
 
-    __slots__ = ("fabric", "local", "remote", "peer", "stats")
+    __slots__ = ("fabric", "local", "remote", "peer", "stats", "_error")
 
     def __init__(self, fabric: Fabric, local: Node, remote: Node) -> None:
         self.fabric = fabric
@@ -65,6 +65,59 @@ class Endpoint:
         self.peer: Optional["Endpoint"] = None
         #: Per-opcode counters.
         self.stats: dict[str, int] = {}
+        #: True while the QP sits in the error state (after an injected
+        #: qp_error / completion_drop fault): every verb fails until
+        #: :meth:`reset` re-establishes the connection.
+        self._error = False
+
+    # -- QP state (fault injection / resilience) ----------------------------
+    @property
+    def in_error(self) -> bool:
+        return self._error
+
+    def reset(self) -> None:
+        """Re-establish the connection: both directions leave the error
+        state (models tearing down the QP pair and reconnecting)."""
+        self._error = False
+        if self.peer is not None:
+            self.peer._error = False
+
+    def _check_usable(self) -> None:
+        if self._error:
+            raise QPError(
+                f"QP {self.local.name}->{self.remote.name} is in the error state",
+                code="qp_error",
+            )
+
+    def _inject(self, site: str) -> Generator[Event, Any, None]:
+        """Fault-injection point at the head of every verb. Only called
+        when an injector is armed; an empty plan yields nothing, so
+        timings are untouched."""
+        inj = self.fabric.injector
+        act = inj.fire(site, partition=inj.pop_context_partition())
+        if act is None:
+            return
+        env = self.local.env
+        if act.kind == "completion_delay":
+            yield env.timeout(act.delay_ns)
+        elif act.kind == "qp_error":
+            self._error = True
+            raise QPError(
+                f"QP {self.local.name}->{self.remote.name} transitioned to "
+                f"error state (injected: {act.rule})",
+                code="qp_error",
+            )
+        elif act.kind == "completion_drop":
+            # The WR is lost; the initiator spends the detection time in
+            # transport retries before the QP gives up and errors out.
+            if act.delay_ns > 0:
+                yield env.timeout(act.delay_ns)
+            self._error = True
+            raise QPError(
+                f"completion lost on {self.local.name}->{self.remote.name} "
+                f"(injected: {act.rule})",
+                code="completion_lost",
+            )
 
     # -- internals ---------------------------------------------------------
     def _count(self, opcode: Opcode) -> None:
@@ -95,6 +148,9 @@ class Endpoint:
         """
         env = self.local.env
         t = self.fabric.timing
+        self._check_usable()
+        if self.fabric.injector is not None:
+            yield from self._inject("qp.write")
         self.fabric.check_target(self.remote)
         mr = self.remote.pd.lookup(rkey)
         data = bytes(data)
@@ -107,7 +163,10 @@ class Endpoint:
         fl = self.fabric.register_inflight(self.remote, addr, data, apply_at)
         yield env.timeout(t.propagation_ns + t.dma_ns)
         if not self.fabric.apply_inflight(fl):
-            raise QPError(f"WRITE to {self.remote.name} flushed (target down)")
+            raise QPError(
+                f"WRITE to {self.remote.name} flushed (target down)",
+                code="target_down",
+            )
         yield env.timeout(t.propagation_ns + t.nic_rx_ns)
         return WorkCompletion(wr_id, Opcode.WRITE, completed_at=env.now)
 
@@ -117,6 +176,9 @@ class Endpoint:
         """One-sided RDMA READ; returns the bytes (visible image)."""
         env = self.local.env
         t = self.fabric.timing
+        self._check_usable()
+        if self.fabric.injector is not None:
+            yield from self._inject("qp.read")
         self.fabric.check_target(self.remote)
         mr = self.remote.pd.lookup(rkey)
         addr = mr.check(offset, length, write=False)
@@ -139,6 +201,9 @@ class Endpoint:
             raise QPError("CAS operands must be 8 bytes")
         env = self.local.env
         t = self.fabric.timing
+        self._check_usable()
+        if self.fabric.injector is not None:
+            yield from self._inject("qp.cas")
         self.fabric.check_target(self.remote)
         mr = self.remote.pd.lookup(rkey)
         addr = mr.check(offset, 8, write=True)
@@ -159,6 +224,9 @@ class Endpoint:
         """8-byte fetch-and-add; returns the prior value."""
         env = self.local.env
         t = self.fabric.timing
+        self._check_usable()
+        if self.fabric.injector is not None:
+            yield from self._inject("qp.faa")
         self.fabric.check_target(self.remote)
         mr = self.remote.pd.lookup(rkey)
         addr = mr.check(offset, 8, write=True)
@@ -186,6 +254,9 @@ class Endpoint:
         target's receive queue."""
         env = self.local.env
         t = self.fabric.timing
+        self._check_usable()
+        if self.fabric.injector is not None:
+            yield from self._inject("qp.send")
         self.fabric.check_target(self.remote)
         self._count(Opcode.SEND)
 
@@ -216,6 +287,9 @@ class Endpoint:
         application is notified immediately with ``imm``."""
         env = self.local.env
         t = self.fabric.timing
+        self._check_usable()
+        if self.fabric.injector is not None:
+            yield from self._inject("qp.write_imm")
         self.fabric.check_target(self.remote)
         mr = self.remote.pd.lookup(rkey)
         data = bytes(data)
@@ -228,7 +302,9 @@ class Endpoint:
         fl = self.fabric.register_inflight(self.remote, addr, data, apply_at)
         yield env.timeout(t.propagation_ns + t.dma_ns + t.two_sided_rx_ns)  # imm notification only; data went one-sided
         if not self.fabric.apply_inflight(fl):
-            raise QPError(f"WRITE_WITH_IMM to {self.remote.name} flushed")
+            raise QPError(
+                f"WRITE_WITH_IMM to {self.remote.name} flushed", code="target_down"
+            )
         msg = Message(
             Opcode.WRITE_WITH_IMM,
             payload,

@@ -18,16 +18,78 @@ from repro.rdma.qp import Endpoint
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Environment, Event, Interrupt, Process
 
-__all__ = ["RpcClient", "RpcServer", "rpc_error", "RpcFault"]
+__all__ = [
+    "RpcClient",
+    "RpcServer",
+    "rpc_error",
+    "rpc_error_for",
+    "RpcFault",
+    "ERR_NOT_FOUND",
+    "ERR_POOL_EXHAUSTED",
+    "ERR_NO_INTACT",
+    "ERR_UNKNOWN_ALLOC",
+    "ERR_STORE",
+    "ERR_UNKNOWN",
+    "RETRYABLE_CODES",
+]
+
+#: Structured error codes carried in RPC error responses, so clients can
+#: distinguish faults worth retrying from fatal protocol errors without
+#: parsing messages.
+ERR_NOT_FOUND = "not_found"
+ERR_POOL_EXHAUSTED = "pool_exhausted"
+ERR_NO_INTACT = "no_intact_version"
+ERR_UNKNOWN_ALLOC = "unknown_alloc"
+ERR_STORE = "store_error"
+ERR_UNKNOWN = "unknown"
+
+#: Codes that describe *transient* server-side conditions: the same
+#: request may succeed after cleaning/verification catches up.
+RETRYABLE_CODES = frozenset({ERR_POOL_EXHAUSTED, ERR_NO_INTACT})
 
 
 class RpcFault(StoreError):
-    """A handler returned an error response; carries the error payload."""
+    """A handler returned an error response.
+
+    Attributes
+    ----------
+    code:
+        Structured error code (one of the ``ERR_*`` constants, or
+        whatever the handler put in the payload's ``"code"`` field).
+    op:
+        The ``op`` field of the originating request, when known.
+    """
+
+    def __init__(
+        self, message: str = "", *, code: str = ERR_UNKNOWN, op: Optional[str] = None
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.op = op
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
 
 
-def rpc_error(message: str, **extra: Any) -> dict:
-    """Build an error response payload."""
-    return {"error": message, **extra}
+def rpc_error(message: str, code: str = ERR_STORE, **extra: Any) -> dict:
+    """Build an error response payload with a structured ``code``."""
+    return {"error": message, "code": code, **extra}
+
+
+def rpc_error_for(exc: StoreError, **extra: Any) -> dict:
+    """Build an error payload whose code reflects the exception class."""
+    from repro.errors import CorruptObjectError, KeyNotFoundError, PoolExhaustedError
+
+    if isinstance(exc, PoolExhaustedError):
+        code = ERR_POOL_EXHAUSTED
+    elif isinstance(exc, KeyNotFoundError):
+        code = ERR_NOT_FOUND
+    elif isinstance(exc, CorruptObjectError):
+        code = ERR_NO_INTACT
+    else:
+        code = ERR_STORE
+    return rpc_error(str(exc), code=code, **extra)
 
 
 class RpcClient:
@@ -49,7 +111,11 @@ class RpcClient:
         msg = yield from self.ep.recv_response(rid)
         resp = msg.payload
         if isinstance(resp, dict) and "error" in resp:
-            raise RpcFault(resp["error"])
+            raise RpcFault(
+                resp["error"],
+                code=resp.get("code", ERR_UNKNOWN),
+                op=payload.get("op") if isinstance(payload, dict) else None,
+            )
         return resp
 
 
@@ -90,6 +156,9 @@ class RpcServer:
         self._proc: Optional[Process] = None
         self._handler_procs: set[Process] = set()
         self.requests_served = 0
+        #: Armed fault injector (:mod:`repro.faults`), or None; the
+        #: dispatch loop checks this one attribute per message.
+        self.injector = None
 
     def register(self, op: str, handler: Handler) -> None:
         self._handlers[op] = handler
@@ -125,6 +194,11 @@ class RpcServer:
         try:
             while True:
                 msg: Message = yield self.node.srq.get()
+                if self.injector is not None:
+                    act = self.injector.fire("rpc.dispatch")
+                    if act is not None and act.kind == "rpc_stall":
+                        # Polling thread descheduled / head-of-line blocked.
+                        yield self.env.timeout(act.delay_ns)
                 handler = self._pick(msg)
                 if handler is None:
                     continue  # drop unroutable messages

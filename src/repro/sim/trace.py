@@ -75,12 +75,26 @@ class Tracer:
     def _hook(self, time: float, event: Event) -> None:
         kind = type(event).__name__
         detail = getattr(event, "name", "") or ""
+        self._append(time, kind, detail)
+
+    def record(self, kind: str, detail: str = "") -> TraceRecord:
+        """Record an application-level occurrence at the current time.
+
+        Used by the fault injector and the client resilience machinery
+        to put injected faults, retries, re-connects and partition
+        demotions on the same timeline as kernel events; works whether
+        or not the tracer is installed as the kernel hook.
+        """
+        return self._append(self.env.now, kind, detail)
+
+    def _append(self, time: float, kind: str, detail: str) -> TraceRecord:
         rec = TraceRecord(time, kind, detail)
         self.records.append(rec)
         if len(self.records) > self.limit:
             del self.records[: len(self.records) // 2]
         if self.stream is not None:
             self.stream.write(f"{time:>14.1f} {kind:<12} {detail}\n")
+        return rec
 
     def counts(self) -> dict[str, int]:
         """Histogram of processed event kinds."""

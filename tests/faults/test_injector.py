@@ -1,0 +1,157 @@
+"""FaultInjector firing semantics, determinism, and arming/disarming."""
+
+from repro.faults.injector import FaultInjector, arm_store, disarm_store
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from tests.conftest import small_store
+
+
+def make_injector(env, rules, seed=1, tracer=None):
+    plan = FaultPlan("t", tuple(rules))
+    return FaultInjector(env, plan, RngRegistry(seed), tracer=tracer)
+
+
+class TestFire:
+    def test_deterministic_rule_fires_every_visit(self, env):
+        inj = make_injector(env, [FaultRule("qp_error", site="qp.write")])
+        assert inj.fire("qp.write").kind == "qp_error"
+        assert inj.fire("qp.write").kind == "qp_error"
+        assert inj.fire("qp.read") is None  # site filter
+        assert len(inj.events) == 2
+
+    def test_op_counter_is_per_site(self, env):
+        inj = make_injector(
+            env, [FaultRule("qp_error", site="qp.write", after_op=1)]
+        )
+        assert inj.fire("qp.write") is None  # write op 0
+        assert inj.fire("qp.read") is None  # read op 0: separate counter
+        assert inj.fire("qp.write").kind == "qp_error"  # write op 1
+        assert inj.site_op_counts() == {"qp.write": 2, "qp.read": 1}
+
+    def test_max_fires_budget(self, env):
+        inj = make_injector(
+            env, [FaultRule("qp_error", site="qp.write", max_fires=2)]
+        )
+        assert inj.fire("qp.write") is not None
+        assert inj.fire("qp.write") is not None
+        assert inj.fire("qp.write") is None
+        assert inj.counts() == {"qp_error": 2}
+
+    def test_first_matching_rule_wins(self, env):
+        inj = make_injector(
+            env,
+            [
+                FaultRule("completion_delay", site="qp.*", delay_ns=5.0),
+                FaultRule("qp_error", site="qp.write"),
+            ],
+        )
+        act = inj.fire("qp.write")
+        assert act.kind == "completion_delay"
+        assert act.delay_ns == 5.0
+
+    def test_partition_filter(self, env):
+        inj = make_injector(
+            env, [FaultRule("pause", site="bg.verifier", partition=1, delay_ns=1.0)]
+        )
+        assert inj.fire("bg.verifier", partition=0) is None
+        assert inj.fire("bg.verifier") is None  # context-free never matches
+        assert inj.fire("bg.verifier", partition=1) is not None
+
+    def test_action_carries_rule_parameters(self, env):
+        inj = make_injector(
+            env,
+            [FaultRule("nvm_spike", delay_ns=7.0, factor=3.0, name="spike")],
+        )
+        act = inj.fire("nvm.persist")
+        assert (act.kind, act.delay_ns, act.factor, act.rule) == (
+            "nvm_spike",
+            7.0,
+            3.0,
+            "spike",
+        )
+
+    def test_schedule_records_firing_order(self, env):
+        inj = make_injector(env, [FaultRule("qp_error", site="qp.*")])
+        inj.fire("qp.write")
+        env.run(until=env.timeout(10.0))
+        inj.fire("qp.read", partition=2)
+        sched = inj.schedule()
+        assert sched == [
+            (0.0, "qp.write", "qp_error", "qp_error@qp.*", 0, None),
+            (10.0, "qp.read", "qp_error", "qp_error@qp.*", 0, 2),
+        ]
+
+
+class TestDeterminism:
+    def probabilistic_schedule(self, seed):
+        env = Environment()
+        inj = make_injector(
+            env,
+            [FaultRule("qp_error", site="qp.write", probability=0.3)],
+            seed=seed,
+        )
+        for _ in range(200):
+            inj.fire("qp.write")
+        return inj.schedule()
+
+    def test_same_seed_same_schedule(self):
+        assert self.probabilistic_schedule(7) == self.probabilistic_schedule(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self.probabilistic_schedule(7) != self.probabilistic_schedule(8)
+
+    def test_coins_only_spent_on_eligible_ops(self):
+        """Ineligible visits must not advance the rule's RNG stream, or
+        unrelated traffic would perturb the fault schedule."""
+
+        def schedule(with_noise):
+            env = Environment()
+            inj = make_injector(
+                env,
+                [FaultRule("qp_error", site="qp.write", probability=0.3)],
+                seed=7,
+            )
+            for _ in range(100):
+                if with_noise:
+                    inj.fire("qp.read")  # ineligible: different site
+                inj.fire("qp.write")
+            return [t[4] for t in inj.schedule()]  # op indices
+
+        assert schedule(False) == schedule(True)
+
+
+class TestContextPartition:
+    def test_one_shot_semantics(self, env):
+        inj = make_injector(env, [])
+        inj.set_context_partition(3)
+        assert inj.pop_context_partition() == 3
+        assert inj.pop_context_partition() is None
+
+
+class TestTracing:
+    def test_fault_events_reach_tracer(self, env):
+        tracer = Tracer(env)
+        inj = make_injector(
+            env, [FaultRule("qp_error", site="qp.write")], tracer=tracer
+        )
+        inj.fire("qp.write")
+        inj.fire("qp.write", partition=1)
+        kinds = tracer.counts()
+        assert kinds.get("fault.qp_error") == 2
+
+
+class TestArming:
+    def test_arm_and_disarm_store(self, env):
+        setup = small_store("efactory", env)
+        assert setup.fabric.injector is None
+        inj = arm_store(setup, FaultPlan("t"), rngs=RngRegistry(1))
+        assert setup.fabric.injector is inj
+        assert setup.server.rpc.injector is inj
+        assert setup.server.device.injector is inj
+        disarm_store(setup)
+        assert setup.fabric.injector is None
+        assert setup.server.rpc.injector is None
+        assert setup.server.device.injector is None
+        setup.server.stop()

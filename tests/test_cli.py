@@ -89,6 +89,30 @@ def test_crash(capsys, tmp_path):
     assert payload[0]["violations"] == []
 
 
+def test_chaos(capsys, tmp_path):
+    path = tmp_path / "chaos.json"
+    rc = main(
+        [
+            "chaos", "--store", "efactory", "--plan", "qp-flap",
+            "--seeds", "7", "--ops", "30", "--strict",
+            "--json", str(path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos audit" in out and "ok" in out
+    payload = json.loads(path.read_text())
+    assert payload[0]["plan"] == "qp-flap"
+    assert payload[0]["violations"] == []
+
+
+def test_chaos_unknown_plan_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["chaos", "--store", "efactory", "--plan", "bogus"]
+        )
+
+
 def test_unknown_store_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--store", "bogus"])
