@@ -128,6 +128,9 @@ class StoreConfig:
     bg_idle_poll_ns: float = 2_000.0
     bg_retry_delay_ns: float = 3_000.0
 
+    # online media scrubbing (0 = disabled; see repro.core.scrub)
+    scrub_interval_ns: float = 0.0
+
     # log cleaning
     reserve_fraction: float = 0.1
 
@@ -144,6 +147,8 @@ class StoreConfig:
             raise ConfigError("reserve_fraction must be in [0, 1)")
         if self.num_partitions < 1:
             raise ConfigError("num_partitions must be >= 1")
+        if self.scrub_interval_ns < 0:
+            raise ConfigError("scrub_interval_ns must be >= 0")
         if self.table_buckets % self.num_partitions != 0:
             raise ConfigError(
                 "table_buckets must be divisible by num_partitions "

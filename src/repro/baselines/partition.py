@@ -101,6 +101,7 @@ class Partition:
         #: Attached by EFactoryServer (None for the other schemes).
         self.verifier: Any = None
         self.cleaner: Any = None
+        self.scrubber: Any = None
         #: Per-partition dispatch budget (one core per partition).  None
         #: when the server is unpartitioned: acquire_budget then yields
         #: nothing, keeping the monolith's event sequence untouched.
@@ -210,7 +211,7 @@ class Partition:
         t = self.config.nvm_timing
         meta_len = HEADER_SIZE + klen
         yield self.env.timeout(t.flush_cost(meta_len))
-        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), meta_len)
+        self.device.flush(self.pools[loc.pool].abs_addr(loc.offset), meta_len)
 
     def persist_entry_timed(self, entry_off: int) -> Generator[Event, Any, None]:
         """Flush the hash entry's line (one CLWB + fence)."""
@@ -245,7 +246,7 @@ class Partition:
     def mark_durable(self, loc: ObjectLocation, img: ObjectImage) -> None:
         self.set_object_flags(loc, img.flags | FLAG_DURABLE)
         # the flag itself must be durable before pure-RDMA readers trust it
-        self.device.buffer.flush(self.pools[loc.pool].abs_addr(loc.offset), 8)
+        self.device.flush(self.pools[loc.pool].abs_addr(loc.offset), 8)
 
     def lookup_slot(
         self, key: bytes

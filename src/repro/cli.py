@@ -7,6 +7,7 @@ Lets a downstream user drive the reproduction without writing code::
         --value-size 1024 --clients 8 --ops 400 --seeds 42 43 44
     python -m repro fig 9 --workload update-only --sizes 64 1024 4096
     python -m repro crash --store erda --seeds 7 11 13
+    python -m repro crashmatrix --store efactory --strict
     python -m repro fig 1 --json out.json
 
 Every command prints the same text tables the benchmarks do; ``--json``
@@ -27,6 +28,7 @@ from repro.faults.plans import shipped_plan_names
 from repro.harness import experiments as exp
 from repro.harness.chaos import ChaosSpec, run_chaos_experiment
 from repro.harness.crash import CrashSpec, run_crash_experiment
+from repro.harness.crashmatrix import CrashMatrixSpec, run_crash_matrix
 from repro.harness.repeat import run_replicated
 from repro.harness.runner import RunSpec
 from repro.stores import STORES, store_names
@@ -106,6 +108,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if any advertised guarantee was violated",
     )
     chaos_p.add_argument("--json", metavar="PATH", default=None)
+
+    matrix_p = sub.add_parser(
+        "crashmatrix",
+        help="deterministic crash-point matrix (crash at every "
+        "persist boundary; prove recovery idempotent)",
+    )
+    matrix_p.add_argument("--store", default="efactory", choices=store_names())
+    matrix_p.add_argument("--seed", type=int, default=11)
+    matrix_p.add_argument(
+        "--max-per-site", type=int, default=12,
+        help="crash points per injection site (stride-sampled)",
+    )
+    matrix_p.add_argument(
+        "--recovery-points", type=int, default=6,
+        help="double-crash points inside recovery itself",
+    )
+    matrix_p.add_argument(
+        "--sites", nargs="+", default=None,
+        help="override the crash-site list (default: every persist/"
+        "atomic-store boundary plus background stages)",
+    )
+    matrix_p.add_argument(
+        "--partitions", type=int, default=1,
+        help="shard the server into N partitions",
+    )
+    matrix_p.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the byte-identical replay check (2x faster)",
+    )
+    matrix_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any violation, non-idempotent recovery, "
+        "or replay mismatch",
+    )
+    matrix_p.add_argument("--json", metavar="PATH", default=None)
 
     part_p = sub.add_parser(
         "partitions", help="partition-scaling sweep (throughput + recovery)"
@@ -290,6 +328,60 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, Any, int]:
     return text, [r.as_dict() for r in reports], status
 
 
+def _cmd_crashmatrix(args: argparse.Namespace) -> tuple[str, Any, int]:
+    overrides = (
+        {"num_partitions": args.partitions} if args.partitions != 1 else {}
+    )
+    spec_kwargs: dict[str, Any] = dict(
+        store=args.store,
+        seed=args.seed,
+        max_per_site=args.max_per_site,
+        recovery_points=args.recovery_points,
+        replay=not args.no_replay,
+        config_overrides=overrides,
+    )
+    if args.sites:
+        spec_kwargs["sites"] = tuple(args.sites)
+    rep = run_crash_matrix(CrashMatrixSpec(**spec_kwargs))
+
+    # one row per (phase, site): points exercised and their verdicts
+    rows: dict[tuple[str, str], dict[str, int]] = {}
+    for r in rep.results:
+        row = rows.setdefault(
+            (r.phase, r.site),
+            {"points": 0, "crashed": 0, "bad": 0, "nonidem": 0, "replay": 0},
+        )
+        row["points"] += 1
+        if r.crashed:
+            row["crashed"] += 1
+            row["bad"] += bool(r.violations)
+            row["nonidem"] += not r.idempotent
+            row["replay"] += not r.replay_identical
+    table = Table(
+        ["phase", "site", "points", "crashed", "violations",
+         "non-idempotent", "replay mismatch"]
+    )
+    for (phase, site), row in sorted(rows.items()):
+        table.add(
+            phase, site, row["points"], row["crashed"], row["bad"],
+            row["nonidem"], row["replay"],
+        )
+    title = f"crash-point matrix: {STORES[args.store].label}"
+    text = banner(title) + "\n" + table.render()
+    text += (
+        f"\n{rep.total_points} crash points executed, "
+        f"{len(rep.violations)} violation(s), "
+        f"{len(rep.non_idempotent)} non-idempotent recovery run(s), "
+        f"{len(rep.replay_mismatches)} replay mismatch(es)"
+    )
+    for v in rep.violations[:10]:
+        text += f"\n  VIOLATION {v}"
+    for p in rep.non_idempotent[:10]:
+        text += f"\n  NON-IDEMPOTENT {p}"
+    status = 1 if (args.strict and not rep.ok) else 0
+    return text, rep.as_dict(), status
+
+
 def _cmd_partitions(args: argparse.Namespace) -> tuple[str, Any]:
     counts = tuple(args.counts)
     tput = exp.partition_scaling(
@@ -326,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _cmd_crash(args)
     elif args.command == "chaos":
         text, payload, status = _cmd_chaos(args)
+    elif args.command == "crashmatrix":
+        text, payload, status = _cmd_crashmatrix(args)
     elif args.command == "partitions":
         text, payload = _cmd_partitions(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -76,7 +76,11 @@ class BackgroundVerifier:
         return self._proc
 
     def stop(self) -> None:
-        if self._proc is not None and self._proc.is_alive:
+        if (
+            self._proc is not None
+            and self._proc.is_alive
+            and self._proc is not self.env.active_process
+        ):
             self._proc.interrupt("stop")
 
     # -- the thread ------------------------------------------------------------
@@ -140,7 +144,7 @@ class BackgroundVerifier:
             # cleaning reclaims the space.
             if img is not None:
                 self.part.set_object_flags(loc, img.flags & ~FLAG_VALID)
-                self.server.device.buffer.flush(
+                self.server.device.flush(
                     self.part.pools[loc.pool].abs_addr(loc.offset), 8
                 )
             self.invalidated += 1

@@ -158,20 +158,27 @@ class LogCleaner:
         return self._proc
 
     def stop(self) -> None:
-        if self._proc is not None and self._proc.is_alive:
+        if (
+            self._proc is not None
+            and self._proc.is_alive
+            and self._proc is not self.env.active_process
+        ):
             self._proc.interrupt("stop")
         self.part.cleaning_active = False
 
     def note_ack(self) -> None:
         self._acks_pending = max(0, self._acks_pending - 1)
 
-    def _maybe_pause(self) -> Generator[Event, Any, None]:
-        """Fault-injection point ahead of each scan step (site
-        ``bg.cleaner``); free when no injector is armed."""
+    def _maybe_pause(self, stage: str = "compress") -> Generator[Event, Any, None]:
+        """Fault-injection point ahead of each scan step (sites
+        ``bg.cleaner.compress`` / ``.merge`` / ``.finish``, so plans and
+        the crash matrix can target each cleaning stage separately;
+        ``site="bg.cleaner.*"`` covers them all); free when no injector
+        is armed."""
         inj = self.server.fabric.injector
         if inj is None:
             return
-        act = inj.fire("bg.cleaner", partition=self.part.part_id)
+        act = inj.fire(f"bg.cleaner.{stage}", partition=self.part.part_id)
         if act is not None and act.kind == "pause":
             yield self.env.timeout(act.delay_ns)
 
@@ -225,8 +232,9 @@ class LogCleaner:
         snapshot = old.allocations[:stage1_mark]  # allocations at stage start
         seen: set[int] = set()
         touched: set[int] = set()
+        yield from self._maybe_pause("compress")  # stage entry
         for alloc in reversed(snapshot):
-            yield from self._maybe_pause()
+            yield from self._maybe_pause("compress")
             yield self.env.timeout(_SCAN_NS)
             ident = self._identify(old, alloc.offset)
             if ident is None:
@@ -261,8 +269,9 @@ class LogCleaner:
         stage1_writes = old.allocations[stage1_mark:]
         seen: set[int] = set()
         touched: set[int] = set()
+        yield from self._maybe_pause("merge")  # stage entry
         for alloc in reversed(stage1_writes):
-            yield from self._maybe_pause()
+            yield from self._maybe_pause("merge")
             yield self.env.timeout(_SCAN_NS)
             ident = self._identify(old, alloc.offset)
             if ident is None:
@@ -364,7 +373,9 @@ class LogCleaner:
         """Flip every touched entry over to the new pool (Figure 7 end)."""
         part = self.part
         t = part.config.nvm_timing
+        yield from self._maybe_pause("finish")  # stage entry
         for entry_off in touched:
+            yield from self._maybe_pause("finish")
             yield self.env.timeout(2 * t.store_ns)
             cur = part.table.read_cur(entry_off)
             alt = part.table.read_alt(entry_off)
@@ -405,7 +416,7 @@ class LogCleaner:
                 part.device.write_atomic64(
                     addr, OBJECT_HEADER.pack_field("pre_ptr", new_ptr)
                 )
-                part.device.buffer.flush(addr, 8)
+                part.device.flush(addr, 8)
                 return
             # hop along the new-pool chain
             nxt = parse_header(

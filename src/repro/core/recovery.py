@@ -36,7 +36,7 @@ from typing import Any, Optional
 
 from repro.baselines.base import BaseServer, ObjectLocation, Partition
 from repro.crc.crc32 import crc32_fast
-from repro.errors import RecoveryError
+from repro.errors import MemoryAccessError, RecoveryError
 from repro.kv.hopscotch import HopscotchTable, TwoVersions
 from repro.kv.logpool import Allocation, LogPool
 from repro.kv.objects import (
@@ -162,6 +162,7 @@ def _recover_partition(
 
     # 2. index repair
     for entry_off, entry in part.table.iter_entries():
+        yield from _recovery_step(part)
         yield env.timeout(t.read_cost(32))
         cur = part.table.read_cur(entry_off)
         alt = part.table.read_alt(entry_off)
@@ -196,30 +197,61 @@ def _recover_partition(
     return report
 
 
+def _recovery_step(part: Partition) -> Generator[Event, Any, None]:
+    """Injection site fired once per index-repair step (site
+    ``recovery.step``): the crash matrix pulls the plug here to prove
+    recovery survives a crash *during* recovery. Free when unarmed."""
+    inj = part.device.injector
+    if inj is not None:
+        act = inj.fire("recovery.step", partition=part.part_id)
+        if act is not None and act.kind == "pause":
+            yield part.env.timeout(act.delay_ns)
+    return
+    yield  # pragma: no cover - keeps this a generator when unarmed
+
+
 def _resolve_chain(
     part: Partition, fp: int, cur
 ) -> Generator[Event, Any, tuple[Optional[ObjectLocation], bool, int]]:
-    """Walk a version chain; return (winner, rolled_back, torn_count)."""
+    """Walk a version chain; return (winner, rolled_back, torn_count).
+
+    Each pre_ptr hop costs two header reads, charged like the scan loop
+    (a corrupt chain is walked at media speed, not for free). Chains are
+    also cycle-checked: a torn ``pre_ptr`` pointing back into the chain
+    (or at itself) would otherwise loop forever — such a chain has no
+    provably-intact tail and resolves to "no winner".
+    """
+    t = part.config.nvm_timing
+    env = part.env
     torn = 0
     rolled = False
+    visited: set[tuple[int, int]] = set()
     loc = (
         ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
         if cur is not None
         else None
     )
     while loc is not None:
+        if (loc.pool, loc.offset) in visited:
+            return None, rolled, torn  # corrupt self-referencing chain
+        visited.add((loc.pool, loc.offset))
         ok = yield from _verify_version(part, fp, loc)
         if ok:
             return loc, rolled, torn
         torn += 1
         rolled = True
-        # follow the on-media pre_ptr
-        hdr = parse_header(part.pools[loc.pool].read(loc.offset, HEADER_SIZE))
-        prev = unpack_ptr(hdr.pre_ptr) if hdr is not None else None
-        if prev is None:
+        # follow the on-media pre_ptr (one header read per end); a
+        # corrupted pointer may fall outside the pool — same as torn
+        yield env.timeout(2 * t.read_cost(HEADER_SIZE))
+        try:
+            hdr = parse_header(part.pools[loc.pool].read(loc.offset, HEADER_SIZE))
+            prev = unpack_ptr(hdr.pre_ptr) if hdr is not None else None
+            if prev is None:
+                return None, rolled, torn
+            pool_id, offset = prev
+            prev_hdr = parse_header(part.pools[pool_id].read(offset, HEADER_SIZE))
+        except MemoryAccessError:
             return None, rolled, torn
-        pool_id, offset = prev
-        prev_hdr = parse_header(part.pools[pool_id].read(offset, HEADER_SIZE))
         if prev_hdr is None:
             return None, rolled, torn
         loc = ObjectLocation(
@@ -274,10 +306,15 @@ def recover_erda(server) -> Generator[Event, Any, RecoveryReport]:
     report.pool_heads.append(pool.head)
     yield env.timeout(t.read_cost(HEADER_SIZE) * max(1, report.objects_scanned))
 
+    inj = server.device.injector
     for idx in range(table.n_buckets):
         entry = table._read(idx)
         if entry.fp == 0:
             continue
+        if inj is not None:
+            act = inj.fire("recovery.step")
+            if act is not None and act.kind == "pause":
+                yield env.timeout(act.delay_ns)
         yield env.timeout(t.read_cost(16))
         region = TwoVersions.unpack(entry.atomic)
         winner: Optional[int] = None

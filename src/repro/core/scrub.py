@@ -1,0 +1,288 @@
+"""Online media scrubbing (Pangolin-style, beyond the paper).
+
+eFactory's selective durability guarantee trusts the durability flag:
+once the background verifier has CRC-checked and persisted an object,
+every later GET serves it *without* re-verifying (§4.3.3 — that skip is
+the point of the scheme). The flag is sound against crashes — it is
+only flushed after the value — but says nothing about *latent media
+errors*: a bit that rots on the DIMM weeks after a successful write
+(Pangolin's threat model, ATC '19) would be served to clients forever,
+silently.
+
+The :class:`Scrubber` closes that hole the way Pangolin does, adapted
+to the multi-version log: a background process walks the hash-table
+segment round-robin, CRC-verifies each durable head object against the
+media, and on a mismatch repairs by *version-list rollback* — exactly
+the recovery policy (:mod:`repro.core.recovery`): re-point the hash
+entry at the newest older version that provably verifies, retire the
+rotten head, and fall back to the log-cleaning copy (``alt``) before
+declaring the key unrepairable and clearing it (a cleared key is a
+loud miss, never a silently-served torn value).
+
+One scrubber per partition (the same sharding as the verifier);
+:class:`ScrubberGroup` aggregates them behind the single-scrubber
+interface. Paced by ``StoreConfig.scrub_interval_ns`` (0 = disabled,
+the default — the paper's system has no scrubber).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.baselines.base import ObjectLocation, Partition
+from repro.errors import MemoryAccessError
+from repro.kv.hashtable import ENTRY_SIZE, key_fingerprint
+from repro.kv.objects import FLAG_DURABLE, FLAG_VALID
+from repro.sim.kernel import Event, Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server import EFactoryServer
+
+__all__ = ["Scrubber", "ScrubberGroup"]
+
+#: Cycle/depth guard for rollback-chain walks over possibly-rotten
+#: pre_ptr links (mirrors recovery's cycle check).
+_MAX_CHAIN_HOPS = 64
+
+
+class Scrubber:
+    """One partition's background CRC-scrub-and-repair thread."""
+
+    def __init__(
+        self, server: "EFactoryServer", partition: Optional[Partition] = None
+    ) -> None:
+        self.server = server
+        self.part = partition if partition is not None else server.partitions[0]
+        self.env = server.env
+        self._proc: Process | None = None
+        self._cursor = 0  # entry index into this partition's segment
+        # statistics (exposed via server.metrics())
+        self.scrubbed = 0
+        self.corrupt_found = 0
+        self.repaired = 0
+        self.unrepairable = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> Process:
+        name = (
+            "scrubber"
+            if self.server.num_partitions == 1
+            else f"scrubber-p{self.part.part_id}"
+        )
+        self._proc = self.env.process(self._loop(), name=name)
+        return self._proc
+
+    def stop(self) -> None:
+        if (
+            self._proc is not None
+            and self._proc.is_alive
+            and self._proc is not self.env.active_process
+        ):
+            self._proc.interrupt("stop")
+
+    @property
+    def active(self) -> bool:
+        return self._proc is not None and self._proc.is_alive
+
+    @property
+    def laps(self) -> int:
+        """Completed passes over this partition's table segment (the
+        chaos harness settles until every scrubber finishes a lap)."""
+        g = self.part.table.geom
+        return self._cursor // (g.n_buckets * g.slots_per_bucket)
+
+    # -- the thread ------------------------------------------------------------
+    def _loop(self) -> Generator[Event, Any, None]:
+        cfg = self.server.config
+        try:
+            while True:
+                inj = self.server.fabric.injector
+                if inj is not None:
+                    act = inj.fire("bg.scrubber", partition=self.part.part_id)
+                    if act is not None and act.kind == "pause":
+                        yield self.env.timeout(act.delay_ns)
+                if not self.part.cleaning_active:
+                    # (Entries mid-migration belong to the cleaner; the
+                    # next lap picks them up at their new home.)
+                    yield from self._scrub_next()
+                yield self.env.timeout(
+                    max(cfg.scrub_interval_ns, cfg.bg_idle_poll_ns)
+                )
+        except Interrupt:
+            return
+
+    def _scrub_next(self) -> Generator[Event, Any, None]:
+        """Advance the cursor to the next live entry and scrub it."""
+        table = self.part.table
+        geom = table.geom
+        total = geom.n_buckets * geom.slots_per_bucket
+        cfg = self.server.config
+        yield self.env.timeout(cfg.nvm_timing.read_cost(ENTRY_SIZE))
+        for _ in range(total):
+            entry_off = (self._cursor % total) * ENTRY_SIZE
+            self._cursor += 1
+            entry = table.read_entry(entry_off)
+            if entry.fp == 0:
+                continue
+            cur = table.read_cur(entry_off)
+            if cur is None:
+                continue
+            yield from self._scrub_entry(entry_off, entry.fp, cur)
+            return
+        # table empty: idle tick
+
+    # -- one entry --------------------------------------------------------------
+    def _scrub_entry(
+        self, entry_off: int, fp: int, cur
+    ) -> Generator[Event, Any, None]:
+        part = self.part
+        cfg = self.server.config
+        loc = ObjectLocation(pool=cur.pool, offset=cur.offset, size=cur.size)
+        yield self.env.timeout(cfg.nvm_timing.read_cost(loc.size))
+        try:
+            img = part.read_object(loc)
+        except MemoryAccessError:
+            img = None  # rotten slot bits point outside the pool
+        if img is not None and img.well_formed:
+            if not img.valid:
+                return  # invalidated head; GETs already roll past it
+            if not img.durable:
+                return  # in-flight write: the verifier's job, not rot
+            self.scrubbed += 1
+            yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+            if key_fingerprint(img.key) == fp and part.object_value_ok(img):
+                return  # intact
+        else:
+            # A *published, durable-marked* head whose header no longer
+            # parses: metadata was persisted before publication, so this
+            # is media rot, not an in-flight write.
+            self.scrubbed += 1
+        yield from self._repair(entry_off, fp, loc, img)
+
+    # -- repair (recovery's rollback policy, online) ----------------------------
+    def _repair(
+        self, entry_off: int, fp: int, bad_loc: ObjectLocation, bad_img
+    ) -> Generator[Event, Any, None]:
+        part = self.part
+        cfg = self.server.config
+        self.corrupt_found += 1
+
+        # 1. newest intact older version along the pre_ptr chain
+        visited = {(bad_loc.pool, bad_loc.offset)}
+        loc = self._previous(bad_loc)
+        hops = 0
+        while loc is not None and hops < _MAX_CHAIN_HOPS:
+            if (loc.pool, loc.offset) in visited:
+                break  # rotten self-referencing chain
+            visited.add((loc.pool, loc.offset))
+            hops += 1
+            yield self.env.timeout(cfg.nvm_timing.read_cost(loc.size))
+            try:
+                img = part.read_object(loc)
+            except MemoryAccessError:
+                break
+            if img.well_formed and img.valid and key_fingerprint(img.key) == fp:
+                yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+                if part.object_value_ok(img):
+                    yield from self._promote(entry_off, loc, img, bad_loc, bad_img)
+                    return
+            loc = self._previous(loc)
+
+        # 2. the log-cleaning copy (durable by construction when present)
+        alt = part.table.read_alt(entry_off)
+        if alt is not None and (alt.pool, alt.offset) not in visited:
+            loc = ObjectLocation(pool=alt.pool, offset=alt.offset, size=alt.size)
+            yield self.env.timeout(cfg.nvm_timing.read_cost(loc.size))
+            try:
+                img = part.read_object(loc)
+            except MemoryAccessError:
+                img = None
+            if (
+                img is not None
+                and img.well_formed
+                and img.valid
+                and key_fingerprint(img.key) == fp
+            ):
+                yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
+                if part.object_value_ok(img):
+                    yield from self._promote(entry_off, loc, img, bad_loc, bad_img)
+                    return
+
+        # 3. unrepairable: clear the key (loud miss, never torn bytes)
+        part.table.clear_cur(entry_off)
+        part.table.clear_alt(entry_off)
+        part.table.persist_entry(entry_off)
+        self._retire(bad_loc, bad_img)
+        self.unrepairable += 1
+
+    def _promote(
+        self,
+        entry_off: int,
+        loc: ObjectLocation,
+        img,
+        bad_loc: ObjectLocation,
+        bad_img,
+    ) -> Generator[Event, Any, None]:
+        """Re-point the entry at the intact version; retire the rot."""
+        part = self.part
+        part.set_object_flags(loc, img.flags | FLAG_DURABLE)
+        yield from part.persist_object(loc)
+        part.table.set_cur(entry_off, loc.slot)
+        part.table.persist_entry(entry_off)
+        self._retire(bad_loc, bad_img)
+        self.repaired += 1
+
+    def _retire(self, bad_loc: ObjectLocation, bad_img) -> None:
+        """Invalidate the corrupt head so no version walk revisits it."""
+        if bad_img is None or not bad_img.well_formed:
+            return  # header itself is rot; the dangling bytes are inert
+        part = self.part
+        part.set_object_flags(
+            bad_loc, bad_img.flags & ~(FLAG_VALID | FLAG_DURABLE)
+        )
+        part.device.flush(part.pools[bad_loc.pool].abs_addr(bad_loc.offset), 8)
+
+    def _previous(self, loc: ObjectLocation) -> Optional[ObjectLocation]:
+        try:
+            return self.part.previous_location(loc)
+        except MemoryAccessError:
+            return None
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "scrubbed": self.scrubbed,
+            "corrupt_found": self.corrupt_found,
+            "repaired": self.repaired,
+            "unrepairable": self.unrepairable,
+        }
+
+
+class ScrubberGroup:
+    """The partitioned server's scrubbers behind the monolith interface."""
+
+    def __init__(self, scrubbers: list[Scrubber]) -> None:
+        self.scrubbers = list(scrubbers)
+
+    def start(self) -> None:
+        for s in self.scrubbers:
+            s.start()
+
+    def stop(self) -> None:
+        for s in self.scrubbers:
+            s.stop()
+
+    @property
+    def active(self) -> bool:
+        return any(s.active for s in self.scrubbers)
+
+    @property
+    def laps(self) -> int:
+        return min((s.laps for s in self.scrubbers), default=0)
+
+    def stats(self) -> dict[str, int]:
+        out = {"scrubbed": 0, "corrupt_found": 0, "repaired": 0, "unrepairable": 0}
+        for s in self.scrubbers:
+            for key, value in s.stats().items():
+                out[key] += value
+        return out

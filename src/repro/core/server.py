@@ -25,6 +25,7 @@ from repro.baselines.base import (
     RESPONSE_BYTES,
 )
 from repro.core.background import BackgroundVerifier, VerifierGroup
+from repro.core.scrub import Scrubber, ScrubberGroup
 from repro.core.config import EFactoryConfig, efactory_config
 from repro.kv.objects import FLAG_VALID
 from repro.rdma.fabric import Fabric
@@ -55,14 +56,17 @@ class EFactoryServer(BaseServer):
         for part in self.partitions:
             part.verifier = BackgroundVerifier(self, part)
             part.cleaner = LogCleaner(self, part)
+            part.scrubber = Scrubber(self, part)
         # Monolith-compatible facades (the single-partition objects
         # themselves when N == 1, aggregates otherwise).
         if len(self.partitions) == 1:
             self.background = self.partitions[0].verifier
             self.cleaner = self.partitions[0].cleaner
+            self.scrubber = self.partitions[0].scrubber
         else:
             self.background = VerifierGroup([p.verifier for p in self.partitions])
             self.cleaner = CleanerGroup([p.cleaner for p in self.partitions])
+            self.scrubber = ScrubberGroup([p.scrubber for p in self.partitions])
 
     @property
     def cleaning_active(self) -> bool:
@@ -74,12 +78,25 @@ class EFactoryServer(BaseServer):
         super().start()
         for part in self.partitions:
             part.verifier.start()
+            if self.config.scrub_interval_ns > 0:
+                part.scrubber.start()
 
     def stop(self) -> None:
         super().stop()
         for part in self.partitions:
             part.verifier.stop()
             part.cleaner.stop()
+            part.scrubber.stop()
+
+    def metrics(self) -> dict[str, dict[str, int]]:
+        """Aggregated background-machinery counters (one dict per
+        subsystem, partition-summed)."""
+        cs = self.cleaner.stats() if callable(self.cleaner.stats) else self.cleaner.stats
+        return {
+            "verifier": self.background.stats(),
+            "cleaner": {name: getattr(cs, name) for name in type(cs).__slots__},
+            "scrubber": self.scrubber.stats(),
+        }
 
     # -- handlers ----------------------------------------------------------------
     def _register_handlers(self) -> None:

@@ -23,6 +23,7 @@ __all__ = [
     "PoolExhaustedError",
     "CorruptObjectError",
     "RecoveryError",
+    "PowerFailure",
     "ConfigError",
     "WorkloadError",
     "ConsistencyViolation",
@@ -91,6 +92,17 @@ class CorruptObjectError(StoreError):
 
 class RecoveryError(StoreError):
     """Post-crash recovery could not rebuild a consistent image."""
+
+
+class PowerFailure(ReproError):
+    """The simulated node lost power mid-operation.
+
+    Raised *inside* the process that was executing when an injected
+    ``crash`` fault fired; the simulation kernel escalates it out of
+    ``env.run()`` to the crash harness, which then restarts the node and
+    runs recovery. Deliberately not a :class:`QPError`/:class:`RpcFault`
+    so client retry machinery can never swallow a power failure.
+    """
 
 
 class ConfigError(ReproError):

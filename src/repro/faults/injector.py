@@ -90,6 +90,16 @@ class FaultInjector:
         ]
         self._fires = [0] * len(plan.rules)
         self._site_ops: dict[str, int] = {}
+        #: Dedicated stream for media-fault placement (which bit flips,
+        #: which word tears) — separate from the per-rule trigger coins
+        #: so adding a media rule never perturbs other rules' draws.
+        self.media_rng = rngs.stream(f"fault.{plan.name}.media")
+        #: Installed by the crash harness: called (with the site name)
+        #: when a ``crash`` rule fires; expected to power-fail the node
+        #: and raise :class:`~repro.errors.PowerFailure`. Without a hook
+        #: a ``crash`` rule is inert (the action is returned and hooks
+        #: ignore the unknown kind).
+        self.crash_hook = None
         #: Every fault injected, in firing order.
         self.events: list[FaultEvent] = []
         # One-shot partition context for sites that lack their own
@@ -134,6 +144,8 @@ class FaultInjector:
             if self.tracer is not None:
                 where = site if partition is None else f"{site}[p{partition}]"
                 self.tracer.record(f"fault.{rule.kind}", f"{where}#{op_index}")
+            if rule.kind == "crash" and self.crash_hook is not None:
+                self.crash_hook(site)  # raises PowerFailure
             return FaultAction(rule.kind, rule.delay_ns, rule.factor, rule.name)
         return None
 

@@ -16,8 +16,10 @@ Sites form a small hierarchy and patterns may end in ``.*``::
 
     qp.write  qp.read  qp.cas  qp.faa  qp.send  qp.write_imm
     rpc.dispatch
-    nvm.persist
-    bg.verifier  bg.cleaner
+    nvm.persist  nvm.flush  nvm.store64
+    bg.verifier  bg.scrubber
+    bg.cleaner.compress  bg.cleaner.merge  bg.cleaner.finish
+    recovery.step
 
 so ``site="qp.*"`` targets every verb while ``site="qp.read"`` faults
 only one-sided READs.
@@ -89,9 +91,31 @@ FAULT_KINDS: dict[str, FaultKind] = {
         FaultKind(
             "pause",
             "bg.*",
-            "the background thread (verifier or cleaner) sleeps delay_ns "
-            "before its next step",
+            "the background thread (verifier, scrubber or cleaner) "
+            "sleeps delay_ns before its next step",
             uses_delay=True,
+        ),
+        FaultKind(
+            "nvm_bitrot",
+            "nvm.*",
+            "latent media corruption: right after the writeback, one bit "
+            "of the persisted range flips on media (detected only by a "
+            "later CRC check — the scrubber's threat model)",
+        ),
+        FaultKind(
+            "nvm_torn_store",
+            "nvm.*",
+            "one aligned 8-byte word of the flushed range fails to reach "
+            "the ADR domain; its line stays dirty, so only a crash "
+            "before the next writeback exposes the tear",
+        ),
+        FaultKind(
+            "crash",
+            "*",
+            "power failure at this injection-point visit: the node's "
+            "in-flight state resolves per the crash model and the "
+            "harness's crash hook raises PowerFailure (crash-point "
+            "matrix trigger; a no-op when no hook is installed)",
         ),
     )
 }

@@ -121,6 +121,39 @@ def jittery_fabric(delay_ns: float = 15_000.0, probability: float = 0.05) -> Fau
     )
 
 
+def bitrot(probability: float = 0.02) -> FaultPlan:
+    """Latent media errors: a fraction of writebacks leave one flipped
+    bit behind on the DIMM (Pangolin's threat model). eFactory's
+    durability-flag shortcut would serve the rot forever; the online
+    scrubber (:mod:`repro.core.scrub`) must find and repair it."""
+    return FaultPlan(
+        "bitrot",
+        (
+            FaultRule(
+                kind="nvm_bitrot", site="nvm.persist", probability=probability
+            ),
+            FaultRule(
+                kind="nvm_bitrot", site="nvm.flush", probability=probability / 2
+            ),
+        ),
+        description="latent single-bit media corruption on writebacks",
+    )
+
+
+def torn_media(probability: float = 0.02) -> FaultPlan:
+    """Writebacks that reach the power-fail domain only partially: one
+    8-byte word of the flushed range is withheld (torn store)."""
+    return FaultPlan(
+        "torn-media",
+        (
+            FaultRule(
+                kind="nvm_torn_store", site="nvm.persist", probability=probability
+            ),
+        ),
+        description="partially-persisted writebacks (torn stores)",
+    )
+
+
 SHIPPED_PLANS: dict[str, Callable[..., FaultPlan]] = {
     "qp-flap": qp_flap,
     "drop-completions": drop_completions,
@@ -128,6 +161,8 @@ SHIPPED_PLANS: dict[str, Callable[..., FaultPlan]] = {
     "rpc-stall": rpc_stall,
     "verifier-pause": verifier_pause,
     "jittery-fabric": jittery_fabric,
+    "bitrot": bitrot,
+    "torn-media": torn_media,
 }
 
 

@@ -42,6 +42,13 @@ from repro.workloads.keyspace import make_key, make_value, parse_value
 
 __all__ = ["ChaosSpec", "ChaosReport", "run_chaos_experiment"]
 
+#: Fault kinds that corrupt the media itself (latent errors), as
+#: opposed to transient transport/CPU faults. They change the audit
+#: contract: acked data may be destroyed outright, so the advertised
+#: behavior is a loud miss or an intact older version — never
+#: silently-served rot.
+MEDIA_FAULT_KINDS = frozenset({"nvm_bitrot", "nvm_torn_store"})
+
 
 @dataclass(frozen=True)
 class ChaosSpec:
@@ -86,6 +93,8 @@ class ChaosReport:
     degraded_reads: int
     wall_ns: float
     trace_counts: dict[str, int] = field(default_factory=dict)
+    #: Online-scrubber counters (empty when the store has no scrubber).
+    scrub: dict[str, int] = field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -114,6 +123,7 @@ class ChaosReport:
             "audited_keys": self.audited_keys,
             "degraded_reads": self.degraded_reads,
             "wall_ns": self.wall_ns,
+            "scrub": dict(self.scrub),
         }
 
 
@@ -132,10 +142,15 @@ def run_chaos_experiment(
     rngs = RngRegistry(spec.seed)
     tracer = Tracer(env) if spec.trace else None
     plan = plan if plan is not None else shipped_plan(spec.plan, **spec.plan_overrides)
+    media_plan = any(rule.kind in MEDIA_FAULT_KINDS for rule in plan.rules)
 
     overrides: dict[str, Any] = {"pool_size": _pool_size_for(spec)}
     if spec.store.startswith("efactory"):
         overrides["auto_clean"] = False
+        if media_plan:
+            # Media faults need the online scrubber: without it the
+            # durability-flag shortcut would serve rot forever.
+            overrides["scrub_interval_ns"] = 2_000.0
     overrides.update(spec.config_overrides)
     setup = build_store(
         spec.store, env, config_overrides=overrides, n_clients=spec.n_clients
@@ -201,13 +216,17 @@ def run_chaos_experiment(
     disarm_store(setup)
     for client in setup.clients:
         client.ep.reset()  # clear any residual QP error state
-    _settle(env, setup, spec.settle_ns)
+    # Under a media plan, also wait for two full scrubber laps so every
+    # entry has provably been examined *after* the last rot landed.
+    _settle(env, setup, spec.settle_ns, scrub_laps=2 if media_plan else 0)
 
     # -- audit through real client GETs --------------------------------------
     # Raw slot reads would misreport legitimately-invalidated versions
     # (publish-on-alloc indexes not-yet-durable objects); the advertised
     # guarantee is about what GET *returns*, so that is what we check.
     consistent = STORES[spec.store].consistent_get
+    scrubber = getattr(setup.server, "scrubber", None)
+    scrub_active = scrubber is not None and getattr(scrubber, "active", False)
     violations: list[str] = []
     weaknesses: list[str] = []
 
@@ -221,18 +240,25 @@ def run_chaos_experiment(
                 problem = f"key {kid}: GET failed after faults cleared ({code or exc})"
                 if isinstance(exc, RpcFault) and code == ERR_NOT_FOUND:
                     problem = f"key {kid}: lost (not found after faults cleared)"
-                violations.append(problem)
+                # Media rot can destroy every version of a key; the
+                # advertised behavior is then exactly this loud miss.
+                (weaknesses if media_plan else violations).append(problem)
                 continue
             parsed = parse_value(value)
             if parsed is None or parsed[0] != kid:
                 msg = f"key {kid}: torn or foreign value returned"
-                (violations if consistent else weaknesses).append(msg)
+                # With a scrubber the store claims rot is repaired or
+                # surfaced, never served — so torn bytes stay a
+                # violation. Stores without one never promised that.
+                strict = consistent and (not media_plan or scrub_active)
+                (violations if strict else weaknesses).append(msg)
                 continue
             ver = parsed[1]
             if ver < acked[kid]:
-                violations.append(
-                    f"key {kid}: acked version {acked[kid]} lost (read {ver})"
-                )
+                msg = f"key {kid}: acked version {acked[kid]} lost (read {ver})"
+                # Rolling back to an intact older version *is* the
+                # scrubber's advertised repair under media faults.
+                (weaknesses if media_plan else violations).append(msg)
             elif ver > issued[kid]:
                 violations.append(
                     f"key {kid}: phantom version {ver} (> issued {issued[kid]})"
@@ -262,16 +288,30 @@ def run_chaos_experiment(
         degraded_reads=degraded,
         wall_ns=wall_ns,
         trace_counts=tracer.counts() if tracer is not None else {},
+        scrub=dict(scrubber.stats()) if scrubber is not None else {},
     )
 
 
-def _settle(env: Environment, setup: Any, settle_ns: float) -> None:
-    """Let asynchronous machinery (the background verifier) drain."""
+def _settle(
+    env: Environment, setup: Any, settle_ns: float, *, scrub_laps: int = 0
+) -> None:
+    """Let asynchronous machinery (verifier, scrubber) drain.
+
+    ``scrub_laps`` additionally requires the scrubber (when running) to
+    complete that many further passes over the table before settling.
+    """
     if settle_ns <= 0:
         return
     deadline = env.now + settle_ns
     background = getattr(setup.server, "background", None)
+    scrubber = getattr(setup.server, "scrubber", None)
+    want_laps = None
+    if scrub_laps and scrubber is not None and getattr(scrubber, "active", False):
+        want_laps = scrubber.laps + scrub_laps
     while env.now < deadline:
         env.run(until=min(deadline, env.now + 50_000.0))
-        if background is None or background.backlog == 0:
-            break
+        if background is not None and background.backlog:
+            continue
+        if want_laps is not None and scrubber.laps < want_laps:
+            continue
+        break

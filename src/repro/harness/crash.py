@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.core.recovery import RecoveryReport, recover_bucketized, recover_erda
-from repro.errors import QPError, RDMAError, StoreError
+from repro.errors import MemoryAccessError, QPError, RDMAError, StoreError
 from repro.kv.hopscotch import HopscotchTable
 from repro.kv.objects import HEADER_SIZE, object_size, parse_header, parse_object
 from repro.rdma.rpc import RpcFault
@@ -38,7 +38,13 @@ from repro.sim.rng import RngRegistry
 from repro.stores import STORES, build_store
 from repro.workloads.keyspace import make_key, make_value, parse_value
 
-__all__ = ["CrashSpec", "KeyAudit", "CrashReport", "run_crash_experiment"]
+__all__ = [
+    "CrashSpec",
+    "KeyAudit",
+    "CrashReport",
+    "run_crash_experiment",
+    "read_value_state",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,9 @@ class CrashSpec:
     seed: int = 7
     #: Probability each dirty cacheline survives by natural eviction.
     evict_probability: float = 0.5
+    #: Tear non-atomic in-flight stores at 8-byte granularity instead of
+    #: whole cachelines (the stricter, more realistic media model).
+    tear_words: bool = False
     recover: bool = True
 
 
@@ -199,7 +208,10 @@ def run_crash_experiment(spec: CrashSpec) -> CrashReport:
         state["crashed"] = True
         server.stop()
         setup.fabric.crash_node(
-            server.node, rngs.stream("crash"), spec.evict_probability
+            server.node,
+            rngs.stream("crash"),
+            spec.evict_probability,
+            tear_words=spec.tear_words,
         )
         for p in procs:
             if p.is_alive:
@@ -220,7 +232,7 @@ def run_crash_experiment(spec: CrashSpec) -> CrashReport:
     # -- audit (direct durable-state reads; no timing) ---------------------------------
     audits = []
     for kid in range(spec.key_count):
-        value = _read_value_state(server, keys[kid], spec)
+        value = read_value_state(server, keys[kid])
         torn = False
         recovered: Optional[int] = None
         if value is not None:
@@ -247,8 +259,15 @@ def run_crash_experiment(spec: CrashSpec) -> CrashReport:
     )
 
 
-def _read_value_state(server, key: bytes, spec: CrashSpec) -> Optional[bytes]:
-    """What a fresh post-crash client would be served for ``key``."""
+def read_value_state(server, key: bytes) -> Optional[bytes]:
+    """What a fresh post-crash client would be served for ``key``.
+
+    ``None`` means the key is absent. A malformed on-media object is
+    returned as its raw bytes (not a synthetic sentinel) so the caller's
+    pattern check audits it as exactly the torn value a client would
+    see. Shared with the crash-point matrix
+    (:mod:`repro.harness.crashmatrix`).
+    """
     if isinstance(server.table, HopscotchTable):
         from repro.kv.hashtable import key_fingerprint
 
@@ -259,10 +278,9 @@ def _read_value_state(server, key: bytes, spec: CrashSpec) -> Optional[bytes]:
         hdr = parse_header(server.pools[0].read(off, HEADER_SIZE))
         if hdr is None:
             return None
-        img = parse_object(
-            server.pools[0].read(off, object_size(hdr.klen, hdr.vlen))
-        )
-        return img.value if img.well_formed else b"\x00"
+        raw = server.pools[0].read(off, object_size(hdr.klen, hdr.vlen))
+        img = parse_object(raw)
+        return img.value if img.well_formed else raw
     part = server.partition_for_key(key)
     found = part.lookup_slot(key)
     if found is None:
@@ -271,9 +289,9 @@ def _read_value_state(server, key: bytes, spec: CrashSpec) -> Optional[bytes]:
     slot = cur or alt
     if slot is None:
         return None
-    from repro.baselines.base import ObjectLocation
-
-    img = part.read_object(
-        ObjectLocation(pool=slot.pool, offset=slot.offset, size=slot.size)
-    )
-    return img.value if img.well_formed else b"\x00"
+    try:
+        raw = part.pools[slot.pool].read(slot.offset, slot.size)
+    except MemoryAccessError:
+        return None  # rotten slot bits point outside the pool
+    img = parse_object(raw)
+    return img.value if img.well_formed else raw

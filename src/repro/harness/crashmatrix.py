@@ -1,0 +1,604 @@
+"""Deterministic crash-point matrix: crash *everywhere*, prove recovery.
+
+The crash harness (:mod:`repro.harness.crash`) pulls the plug at one
+workload-chosen instant per seed. That samples the crash space; it does
+not *cover* it. This module enumerates the crash space systematically:
+
+1. **Counting pass** — run a small, fully scripted workload (preload,
+   mixed PUT/GET clients, an explicit log-cleaning cycle) with an armed
+   but *empty* fault plan. The injector counts every visit to every
+   injection site; those per-site operation counters are the universe of
+   crash points (every persist/atomic-store boundary in the PUT
+   pipeline, background verify, each log-cleaning stage, RPC dispatch).
+2. **Crash pass** — for each selected ``(site, op_index)``, re-run the
+   *identical* workload (same seed, same streams) with one deterministic
+   rule: ``crash`` at exactly that visit. The injector's crash hook
+   stops the server machinery, power-fails the node through the
+   word-granular media model (in-flight stores tear at 8-byte
+   granularity), and raises :class:`~repro.errors.PowerFailure`, which
+   escalates out of ``env.run`` into the harness.
+3. **Recover + audit** — restart the node, run the store's recovery,
+   then audit every key against the advertised guarantees (torn
+   exposure, durability of acked writes, monotonic reads) using the
+   crash oracle's state reader.
+4. **Idempotence** — run recovery a *second* time and require a
+   byte-identical NVM image and a second report with zero rolled-back /
+   lost keys: recovery must be safe to crash and re-run.
+5. **Double crash** — a separate set of points crashes *inside
+   recovery itself* (site ``recovery.step``), recovers again, and holds
+   the result to the same bar.
+6. **Replay** — each crash point is re-run from scratch under the same
+   seed; the final NVM image must be byte-identical (the whole matrix is
+   a pure function of ``(store, seed, workload shape)``).
+
+Everything here is deterministic: crash rules carry ``probability=1``
+so they draw no coins, which keeps the counting pass and every crash
+pass on exactly the same event sequence up to the crash instant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.recovery import RecoveryReport, recover_bucketized, recover_erda
+from repro.errors import (
+    OperationTimeout,
+    PowerFailure,
+    QPError,
+    RDMAError,
+    StoreError,
+)
+from repro.faults.injector import FaultInjector, arm_store, disarm_store
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.harness.crash import read_value_state
+from repro.rdma.rpc import RpcFault
+from repro.sim.kernel import Environment, Event, Interrupt
+from repro.sim.rng import RngRegistry
+from repro.stores import STORES, build_store
+from repro.workloads.keyspace import make_key, make_value, parse_value
+
+__all__ = [
+    "CrashMatrixSpec",
+    "CrashPointResult",
+    "CrashMatrixReport",
+    "run_crash_matrix",
+]
+
+#: Server-side sites the matrix crashes at by default — every persist /
+#: atomic-store boundary plus each background stage. ``recovery.step``
+#: is handled separately (phase 5 above).
+DEFAULT_SITES = (
+    "nvm.store64",
+    "nvm.flush",
+    "nvm.persist",
+    "rpc.dispatch",
+    "bg.verifier",
+    "bg.cleaner.compress",
+    "bg.cleaner.merge",
+    "bg.cleaner.finish",
+)
+
+
+@dataclass(frozen=True)
+class CrashMatrixSpec:
+    """One crash-point matrix run (a pure function of these fields)."""
+
+    store: str = "efactory"
+    seed: int = 11
+    n_clients: int = 2
+    key_count: int = 12
+    key_len: int = 16
+    value_len: int = 96
+    ops_per_client: int = 30
+    read_fraction: float = 0.3
+    #: Completed-op count at which the harness triggers a log-cleaning
+    #: cycle (stores without a cleaner ignore it).
+    clean_after_ops: int = 24
+    evict_probability: float = 0.5
+    sites: tuple[str, ...] = DEFAULT_SITES
+    #: Crash points per site: the site's op counter is stride-sampled
+    #: down to at most this many indexes.
+    max_per_site: int = 12
+    #: Double-crash points inside recovery (site ``recovery.step``).
+    recovery_points: int = 6
+    #: Re-run every crash point and require byte-identical state.
+    replay: bool = True
+    settle_ns: float = 10_000_000.0
+    config_overrides: dict = field(default_factory=dict)
+
+
+@dataclass
+class CrashPointResult:
+    """Verdict for one crash point."""
+
+    site: str
+    op_index: int
+    phase: str  # "workload" | "recovery"
+    crashed: bool  # the rule actually fired (False = site never reached)
+    crash_summary: dict = field(default_factory=dict)
+    recovery: Optional[dict] = None
+    violations: list[str] = field(default_factory=list)
+    weaknesses: list[str] = field(default_factory=list)
+    idempotent: bool = True
+    replay_identical: bool = True
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.idempotent and self.replay_identical
+
+
+@dataclass
+class CrashMatrixReport:
+    spec: CrashMatrixSpec
+    site_op_counts: dict[str, int]
+    results: list[CrashPointResult]
+
+    @property
+    def total_points(self) -> int:
+        return sum(1 for r in self.results if r.crashed)
+
+    @property
+    def violations(self) -> list[str]:
+        out = []
+        for r in self.results:
+            out.extend(
+                f"{r.phase}:{r.site}#{r.op_index}: {v}" for v in r.violations
+            )
+        return out
+
+    @property
+    def non_idempotent(self) -> list[str]:
+        return [
+            f"{r.phase}:{r.site}#{r.op_index}"
+            for r in self.results
+            if r.crashed and not r.idempotent
+        ]
+
+    @property
+    def replay_mismatches(self) -> list[str]:
+        return [
+            f"{r.phase}:{r.site}#{r.op_index}"
+            for r in self.results
+            if r.crashed and not r.replay_identical
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "store": self.spec.store,
+            "seed": self.spec.seed,
+            "site_op_counts": dict(self.site_op_counts),
+            "total_points": self.total_points,
+            "violations": self.violations,
+            "non_idempotent": self.non_idempotent,
+            "replay_mismatches": self.replay_mismatches,
+            "points": [
+                {
+                    "site": r.site,
+                    "op_index": r.op_index,
+                    "phase": r.phase,
+                    "crashed": r.crashed,
+                    "violations": r.violations,
+                    "weaknesses": r.weaknesses,
+                    "idempotent": r.idempotent,
+                    "replay_identical": r.replay_identical,
+                    "digest": r.digest,
+                }
+                for r in self.results
+            ],
+        }
+
+
+# -- one workload instance ------------------------------------------------------
+
+
+class _Instance:
+    """One fresh simulation of the scripted matrix workload.
+
+    Carries everything the harness needs after the run: the (possibly
+    crashed) environment, the oracle's per-key bookkeeping, and the
+    armed injector.
+    """
+
+    def __init__(self, spec: CrashMatrixSpec, rules: tuple[FaultRule, ...]) -> None:
+        self.spec = spec
+        self.env = Environment()
+        self.rngs = RngRegistry(spec.seed)
+        obj = 64 + spec.key_len + spec.value_len
+        overrides: dict[str, Any] = {
+            "pool_size": max(
+                4 << 20,
+                (spec.key_count + spec.n_clients * spec.ops_per_client) * obj * 4,
+            )
+        }
+        if spec.store.startswith("efactory"):
+            overrides["auto_clean"] = False
+        overrides.update(spec.config_overrides)
+        self.setup = build_store(
+            spec.store, self.env, config_overrides=overrides,
+            n_clients=spec.n_clients,
+        ).start()
+        self.server = self.setup.server
+        self.keys = [make_key(k, spec.key_len) for k in range(spec.key_count)]
+        self.issued = [0] * spec.key_count
+        self.acked = [0] * spec.key_count  # preload counts as acked v0
+        self.max_read = [-1] * spec.key_count
+        self.state = {"completed": 0, "crashed": False}
+        self.crash_info: dict[str, Any] = {}
+        self.rules = rules
+        self.injector: Optional[FaultInjector] = None
+
+    # -- the scripted workload ------------------------------------------------
+    def run_workload(self) -> bool:
+        """Drive the workload; returns True if a crash rule fired."""
+        spec, env = self.spec, self.env
+
+        def preload() -> Generator[Event, Any, None]:
+            c = self.setup.client(0)
+            for kid in range(spec.key_count):
+                yield from c.put(self.keys[kid], make_value(kid, 0, spec.value_len))
+
+        env.run(env.process(preload(), name="matrix-preload"))
+        self._settle()
+
+        # Arm only now: crash-point indexes count from the start of the
+        # faulted window, not the preload.
+        plan = FaultPlan("matrix", self.rules)
+        self.injector = arm_store(self.setup, plan, rngs=self.rngs)
+        self.injector.crash_hook = self._crash_hook
+
+        procs = [
+            env.process(self._client_proc(i), name=f"matrix-client{i}")
+            for i in range(spec.n_clients)
+        ]
+        cleaner = env.process(self._cleaning_controller(), name="matrix-cleaner")
+
+        # The whole armed window can crash: the clients' ops, the
+        # settle (background verify/flush still runs), even stop().
+        try:
+            env.run(env.all_of(procs))
+            if not self.state["crashed"]:
+                if cleaner.is_alive:
+                    cleaner.interrupt("done")
+                self._settle()
+                self.server.stop()
+        except PowerFailure:
+            pass
+        for proc in procs + [cleaner]:
+            if proc.is_alive:
+                proc.interrupt("crash")
+        self._drain(1_000.0)
+        if self.state["crashed"]:
+            return True
+        disarm_store(self.setup)
+        return False
+
+    def _client_proc(self, i: int) -> Generator[Event, Any, None]:
+        spec = self.spec
+        client = self.setup.client(i)
+        rng = self.rngs.stream(f"matrix.client{i}")
+        mine = [k for k in range(spec.key_count) if k % spec.n_clients == i]
+        for _ in range(spec.ops_per_client):
+            if self.state["crashed"]:
+                return
+            kid = int(mine[int(rng.integers(len(mine)))]) if mine else 0
+            is_read = rng.random() < spec.read_fraction
+            try:
+                if is_read:
+                    value = yield from client.get(
+                        self.keys[kid], size_hint=spec.value_len
+                    )
+                    parsed = parse_value(value)
+                    if parsed is not None and parsed[0] == kid:
+                        self.max_read[kid] = max(self.max_read[kid], parsed[1])
+                else:
+                    self.issued[kid] += 1
+                    ver = self.issued[kid]
+                    yield from client.put(
+                        self.keys[kid], make_value(kid, ver, spec.value_len)
+                    )
+                    self.acked[kid] = max(self.acked[kid], ver)
+            except Interrupt:
+                # Exit cleanly so the run's all_of condition completes
+                # instead of re-raising during the post-crash drain.
+                return
+            except (StoreError, RpcFault, QPError, RDMAError, OperationTimeout):
+                if self.state["crashed"]:
+                    return
+                continue
+            self.state["completed"] += 1
+
+    def _cleaning_controller(self) -> Generator[Event, Any, None]:
+        """Deterministically trigger one log-cleaning cycle mid-run."""
+        spec, env = self.spec, self.env
+        trigger = getattr(self.server, "trigger_cleaning", None)
+        if trigger is None:
+            return
+        try:
+            while (
+                not self.state["crashed"]
+                and self.state["completed"] < spec.clean_after_ops
+            ):
+                yield env.timeout(5_000.0)
+        except Interrupt:
+            return
+        if not self.state["crashed"]:
+            trigger()
+
+    def _crash_hook(self, site: str) -> None:
+        """Installed on the injector; runs inside the crashing process."""
+        self.state["crashed"] = True
+        self.crash_info["site"] = site
+        self.crash_info["time"] = self.env.now
+        # Active-process-safe: stop() skips the process we are inside of
+        # (it dies by the PowerFailure below).
+        self.server.stop()
+        self.crash_info["summary"] = self.setup.fabric.crash_node(
+            self.server.node,
+            self.rngs.stream("matrix.crash"),
+            self.spec.evict_probability,
+            tear_words=True,
+        )
+        raise PowerFailure(f"crash point {site}")
+
+    # -- recovery --------------------------------------------------------------
+    def recover(self) -> Optional[RecoveryReport]:
+        """One full recovery pass (restarts the node if it is down)."""
+        if self.spec.store == "ca":
+            return None
+        if not self.server.node.alive:
+            self.setup.fabric.restart_node(self.server.node)
+        if self.spec.store == "erda":
+            proc = self.env.process(recover_erda(self.server), name="matrix-recover")
+        else:
+            proc = self.env.process(
+                recover_bucketized(self.server), name="matrix-recover"
+            )
+        return self.env.run(proc)
+
+    def arm_recovery(self, rules: tuple[FaultRule, ...]) -> FaultInjector:
+        """Arm a fresh plan for the recovery phase (double-crash)."""
+        plan = FaultPlan("matrix", rules)
+        inj = FaultInjector(self.env, plan, self.rngs)
+        self.setup.fabric.injector = inj
+        self.server.rpc.injector = inj
+        if self.server.device is not None:
+            self.server.device.injector = inj
+        self.injector = inj
+        return inj
+
+    def recovery_crash_hook(self) -> None:
+        """Install a hook that power-fails the node mid-recovery."""
+        def hook(site: str) -> None:
+            self.crash_info["site2"] = site
+            self.crash_info["summary2"] = self.setup.fabric.crash_node(
+                self.server.node,
+                self.rngs.stream("matrix.crash2"),
+                self.spec.evict_probability,
+                tear_words=True,
+            )
+            raise PowerFailure(f"double crash at {site}")
+
+        assert self.injector is not None
+        self.injector.crash_hook = hook
+
+    # -- plumbing ---------------------------------------------------------------
+    def _settle(self) -> None:
+        env = self.env
+        deadline = env.now + self.spec.settle_ns
+        background = getattr(self.server, "background", None)
+        while env.now < deadline:
+            env.run(until=min(deadline, env.now + 50_000.0))
+            if background is None or background.backlog == 0:
+                break
+
+    def _drain(self, ns: float) -> None:
+        """Advance time past interrupt deliveries, swallowing any
+        residual crash escalation."""
+        deadline = self.env.now + ns
+        while True:
+            try:
+                self.env.run(until=deadline)
+                return
+            except PowerFailure:
+                continue
+
+    def digest(self) -> str:
+        """Byte-identity fingerprint of the server's whole NVM image."""
+        buf = self.server.device.buffer
+        h = hashlib.sha256()
+        h.update(bytes(buf.durable))
+        h.update(bytes(buf.visible))
+        return h.hexdigest()
+
+    def audit(self) -> tuple[list[str], list[str]]:
+        """The crash oracle, against the advertised guarantees."""
+        flags = STORES[self.spec.store]
+        violations: list[str] = []
+        weaknesses: list[str] = []
+        for kid in range(self.spec.key_count):
+            value = read_value_state(self.server, self.keys[kid])
+            torn, recovered = False, None
+            if value is not None:
+                parsed = parse_value(value)
+                if parsed is None or parsed[0] != kid:
+                    torn = True
+                else:
+                    recovered = parsed[1]
+            if torn:
+                msg = f"key {kid}: torn value exposed after recovery"
+                (violations if flags.consistent_get else weaknesses).append(msg)
+                continue
+            if recovered is None or recovered < self.acked[kid]:
+                msg = (
+                    f"key {kid}: acked version {self.acked[kid]} lost "
+                    f"(recovered {recovered})"
+                )
+                (violations if flags.durable_put else weaknesses).append(msg)
+            if self.spec.store.startswith("efactory") and self.max_read[kid] >= 0:
+                if recovered is None or recovered < self.max_read[kid]:
+                    violations.append(
+                        f"key {kid}: non-monotonic read across crash "
+                        f"(read {self.max_read[kid]}, recovered {recovered})"
+                    )
+            if recovered is not None and recovered > self.issued[kid]:
+                violations.append(
+                    f"key {kid}: phantom version {recovered} "
+                    f"(> issued {self.issued[kid]})"
+                )
+        return violations, weaknesses
+
+
+# -- matrix orchestration ---------------------------------------------------------
+
+
+def _crash_rule(site: str, op_index: int) -> tuple[FaultRule, ...]:
+    # probability=1 -> no RNG stream is created for the rule, so the
+    # crash run's event sequence matches the counting run exactly.
+    return (
+        FaultRule(
+            kind="crash",
+            site=site,
+            after_op=op_index,
+            before_op=op_index + 1,
+            max_fires=1,
+        ),
+    )
+
+
+def _sample(count: int, cap: int) -> list[int]:
+    """Deterministic stride-sample of ``range(count)`` down to ``cap``."""
+    if count <= 0:
+        return []
+    stride = max(1, -(-count // cap))  # ceil
+    return list(range(0, count, stride))[:cap]
+
+
+def _run_point(
+    spec: CrashMatrixSpec, site: str, op_index: int
+) -> CrashPointResult:
+    """Crash at one workload point, recover, audit, check idempotence."""
+    inst = _Instance(spec, _crash_rule(site, op_index))
+    crashed = inst.run_workload()
+    result = CrashPointResult(site=site, op_index=op_index, phase="workload",
+                              crashed=crashed)
+    if not crashed:
+        return result
+    result.crash_summary = dict(inst.crash_info.get("summary", {}))
+    disarm_store(inst.setup)
+    report = inst.recover()
+    result.recovery = report.as_dict() if report is not None else None
+    result.digest = inst.digest()
+    if report is not None:
+        second = inst.recover()
+        result.idempotent = (
+            inst.digest() == result.digest
+            and second.keys_rolled_back == 0
+            and second.keys_lost == 0
+        )
+    result.violations, result.weaknesses = inst.audit()
+    return result
+
+
+def _run_recovery_point(
+    spec: CrashMatrixSpec,
+    primary: tuple[str, int],
+    op_index: int,
+) -> CrashPointResult:
+    """Crash at ``primary`` during the workload, then crash *again* at
+    the ``op_index``-th recovery step; the third recovery must land the
+    same place a clean one would."""
+    inst = _Instance(spec, _crash_rule(*primary))
+    if not inst.run_workload():
+        return CrashPointResult(
+            site="recovery.step", op_index=op_index, phase="recovery",
+            crashed=False,
+        )
+    inst.arm_recovery(_crash_rule("recovery.step", op_index))
+    inst.recovery_crash_hook()
+    result = CrashPointResult(site="recovery.step", op_index=op_index,
+                              phase="recovery", crashed=False)
+    try:
+        inst.recover()
+    except PowerFailure:
+        result.crashed = True
+        inst._drain(1_000.0)
+    disarm_store(inst.setup)
+    if not result.crashed:
+        # Recovery finished before reaching this step index: the site's
+        # universe is smaller than requested. Not an error.
+        return result
+    result.crash_summary = dict(inst.crash_info.get("summary2", {}))
+    report = inst.recover()
+    result.recovery = report.as_dict() if report is not None else None
+    result.digest = inst.digest()
+    if report is not None:
+        second = inst.recover()
+        result.idempotent = (
+            inst.digest() == result.digest
+            and second.keys_rolled_back == 0
+            and second.keys_lost == 0
+        )
+    result.violations, result.weaknesses = inst.audit()
+    return result
+
+
+def run_crash_matrix(spec: CrashMatrixSpec) -> CrashMatrixReport:
+    """Enumerate and execute the full crash-point matrix for ``spec``."""
+    # 1. counting pass: the universe of crash points
+    counting = _Instance(spec, ())
+    counting.run_workload()
+    assert counting.injector is not None
+    counts = counting.injector.site_op_counts()
+
+    results: list[CrashPointResult] = []
+
+    # 2-4. workload-phase crash points
+    for site in spec.sites:
+        for k in _sample(counts.get(site, 0), spec.max_per_site):
+            point = _run_point(spec, site, k)
+            if point.crashed and spec.replay:
+                replay = _run_point(spec, site, k)
+                point.replay_identical = replay.digest == point.digest
+            results.append(point)
+
+    # 5. double-crash points (crash during recovery of a mid-run crash)
+    if spec.recovery_points > 0 and spec.store != "ca":
+        primary = _pick_primary(spec, counts)
+        if primary is not None:
+            # count recovery steps for that primary crash
+            probe = _Instance(spec, _crash_rule(*primary))
+            if probe.run_workload():
+                probe.arm_recovery(())
+                probe.recover()
+                rec_ops = probe.injector.site_op_counts().get("recovery.step", 0)
+                for k in _sample(rec_ops, spec.recovery_points):
+                    point = _run_recovery_point(spec, primary, k)
+                    if point.crashed and spec.replay:
+                        replay = _run_recovery_point(spec, primary, k)
+                        point.replay_identical = replay.digest == point.digest
+                    results.append(point)
+
+    return CrashMatrixReport(spec=spec, site_op_counts=counts, results=results)
+
+
+def _pick_primary(
+    spec: CrashMatrixSpec, counts: dict[str, int]
+) -> Optional[tuple[str, int]]:
+    """The fixed mid-workload crash the double-crash points recover from:
+    the middle visit of the busiest persist-path site."""
+    best = None
+    for site in ("nvm.persist", "nvm.flush", "nvm.store64"):
+        n = counts.get(site, 0)
+        if n and (best is None or n > counts.get(best, 0)):
+            best = site
+    if best is None:
+        return None
+    return best, counts[best] // 2

@@ -244,7 +244,7 @@ class NvmHashTable:
 
     def persist_entry(self, entry_off: int) -> None:
         """State-level flush of one entry (timing charged by caller)."""
-        self.device.buffer.flush(self._entry_addr(entry_off), ENTRY_SIZE)
+        self.device.flush(self._entry_addr(entry_off), ENTRY_SIZE)
 
     # -- iteration (cleaning / recovery) -----------------------------------------
     def iter_entries(self) -> Iterator[tuple[int, object]]:

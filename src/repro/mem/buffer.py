@@ -14,10 +14,21 @@ independently either *naturally evicted* (it made it to media on its
 own — the behaviour Erda relies on and that causes its non-monotonic
 reads) or lost, in which case ``visible`` reverts to the durable image.
 
-Line-granular crash atomicity subsumes the 8-byte failure-atomicity unit
-of real NVM for aligned 8-byte stores, which is what every scheme in the
-paper relies on (hash-entry updates); :meth:`write_atomic64` asserts the
-alignment invariant.
+Crash resolution has two granularities. The default resolves whole
+lines, which subsumes the 8-byte failure-atomicity unit of real NVM for
+aligned 8-byte stores — what every scheme in the paper relies on for
+hash-entry updates; :meth:`write_atomic64` asserts the alignment
+invariant. With ``tear_words=True`` each aligned 8-byte word of a dirty
+line is resolved *independently*, the harshest model consistent with the
+hardware guarantee: multi-word stores (headers, values) can tear
+mid-object, while any single aligned 8-byte store still lands or misses
+atomically.
+
+Latent media faults (bit-rot, stuck lines) are modelled by
+:meth:`corrupt`: a seeded mutation of the *durable* image, visible to
+loads only where the cache no longer masks the media (clean lines) —
+exactly the class of error Pangolin-style checksum scrubbing exists to
+catch.
 
 Dirty tracking uses a NumPy boolean array so that flush/crash sweeps are
 vectorised (guides: prefer masks over Python loops).
@@ -29,10 +40,22 @@ import numpy as np
 
 from repro.errors import MemoryAccessError
 
-__all__ = ["CACHELINE", "PersistentBuffer", "BufferStats"]
+__all__ = [
+    "CACHELINE",
+    "ATOMIC_WORD",
+    "CORRUPTION_KINDS",
+    "PersistentBuffer",
+    "BufferStats",
+]
 
 #: Cacheline size in bytes; the dirty-tracking and crash granularity.
 CACHELINE = 64
+
+#: NVM failure-atomicity unit: an aligned 8-byte store lands atomically.
+ATOMIC_WORD = 8
+
+#: Latent-corruption kinds accepted by :meth:`PersistentBuffer.corrupt`.
+CORRUPTION_KINDS = ("bitflip", "zero_line")
 
 
 class BufferStats:
@@ -46,6 +69,10 @@ class BufferStats:
         "crashes",
         "lines_evicted_on_crash",
         "lines_lost_on_crash",
+        "lines_torn_on_crash",
+        "words_lost_on_crash",
+        "corruptions",
+        "torn_stores",
     )
 
     def __init__(self) -> None:
@@ -56,6 +83,10 @@ class BufferStats:
         self.crashes = 0
         self.lines_evicted_on_crash = 0
         self.lines_lost_on_crash = 0
+        self.lines_torn_on_crash = 0
+        self.words_lost_on_crash = 0
+        self.corruptions = 0
+        self.torn_stores = 0
 
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -176,34 +207,137 @@ class PersistentBuffer:
         return int(self._dirty[lo:hi].sum())
 
     # -- crash semantics -----------------------------------------------------
-    def crash(self, rng: np.random.Generator, evict_probability: float = 0.5) -> dict:
+    def crash(
+        self,
+        rng: np.random.Generator,
+        evict_probability: float = 0.5,
+        *,
+        tear_words: bool = False,
+    ) -> dict:
         """Power failure: resolve every dirty line, then expose the media.
 
         Each dirty line is independently *naturally evicted* (survives)
         with ``evict_probability``, else its volatile contents are lost.
+        With ``tear_words=True`` the coin is flipped per aligned 8-byte
+        word instead, so a line can land *partially* — tearing any store
+        wider than the hardware's failure-atomicity unit — while aligned
+        8-byte stores (one word) still resolve atomically.
         Afterwards ``visible == durable`` and nothing is dirty.
 
-        Returns a summary dict (``evicted``, ``lost`` line counts).
+        Returns a summary dict (``evicted``, ``lost``, ``torn`` line
+        counts; ``torn`` only ever non-zero with ``tear_words``).
         """
         if not 0.0 <= evict_probability <= 1.0:
             raise MemoryAccessError(
                 f"evict_probability must be in [0,1], got {evict_probability}"
             )
         dirty_idx = np.flatnonzero(self._dirty)
-        if dirty_idx.size:
-            survives = rng.random(dirty_idx.size) < evict_probability
-            for line in dirty_idx[survives]:
-                start = int(line) * CACHELINE
-                end = min(start + CACHELINE, self.size)
-                self.durable[start:end] = self.visible[start:end]
-        evicted = int(survives.sum()) if dirty_idx.size else 0
-        lost = int(dirty_idx.size) - evicted
+        evicted = lost = torn = 0
+        words_per_line = CACHELINE // ATOMIC_WORD
+        for line in dirty_idx:
+            start = int(line) * CACHELINE
+            end = min(start + CACHELINE, self.size)
+            if tear_words:
+                n_words = (end - start + ATOMIC_WORD - 1) // ATOMIC_WORD
+                survives = rng.random(n_words) < evict_probability
+                n_live = int(survives.sum())
+                if n_live == n_words:
+                    self.durable[start:end] = self.visible[start:end]
+                    evicted += 1
+                elif n_live == 0:
+                    lost += 1
+                    self.stats.words_lost_on_crash += n_words
+                else:
+                    for w in np.flatnonzero(survives):
+                        ws = start + int(w) * ATOMIC_WORD
+                        we = min(ws + ATOMIC_WORD, end)
+                        self.durable[ws:we] = self.visible[ws:we]
+                    torn += 1
+                    self.stats.words_lost_on_crash += n_words - n_live
+            else:
+                if rng.random() < evict_probability:
+                    self.durable[start:end] = self.visible[start:end]
+                    evicted += 1
+                else:
+                    lost += 1
+                    self.stats.words_lost_on_crash += words_per_line
         self.visible[:] = self.durable
         self._dirty[:] = False
         self.stats.crashes += 1
         self.stats.lines_evicted_on_crash += evicted
         self.stats.lines_lost_on_crash += lost
-        return {"evicted": evicted, "lost": lost}
+        self.stats.lines_torn_on_crash += torn
+        return {"evicted": evicted, "lost": lost, "torn": torn}
+
+    # -- media faults --------------------------------------------------------
+    def corrupt(
+        self,
+        addr: int,
+        kind: str = "bitflip",
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> dict:
+        """Seeded latent media corruption at ``addr`` (Pangolin's threat
+        model: errors the DIMM develops *after* a successful write).
+
+        ``bitflip`` flips one bit of the byte at ``addr`` (bit chosen by
+        ``rng``, bit 0 without one); ``zero_line`` zeroes the whole
+        cacheline containing ``addr`` (an uncorrectable stuck line).
+
+        The *durable* image is always mutated. The *visible* image
+        follows only where the covered line is clean — a dirty line
+        means the cache still holds the good data and masks the media
+        until the next writeback.
+
+        Returns a summary dict (``kind``, ``addr``, ``bit``, ``masked``).
+        """
+        self._check(addr, 1)
+        if kind not in CORRUPTION_KINDS:
+            raise MemoryAccessError(
+                f"unknown corruption kind {kind!r}; known: {CORRUPTION_KINDS}"
+            )
+        line = addr // CACHELINE
+        start = line * CACHELINE
+        end = min(start + CACHELINE, self.size)
+        bit = None
+        if kind == "bitflip":
+            bit = int(rng.integers(8)) if rng is not None else 0
+            self.durable[addr] ^= 1 << bit
+        else:  # zero_line
+            self.durable[start:end] = bytes(end - start)
+        masked = bool(self._dirty[line])
+        if not masked:
+            self.visible[start:end] = self.durable[start:end]
+        self.stats.corruptions += 1
+        return {"kind": kind, "addr": addr, "bit": bit, "masked": masked}
+
+    def flush_torn(
+        self, addr: int, length: int, rng: np.random.Generator
+    ) -> int:
+        """Flush the range but leave one aligned 8-byte word behind — a
+        torn store: the CLWB for that word's line was issued but the
+        write-back was dropped before the ADR domain (a modelled media
+        write fault on the persist path).
+
+        The un-persisted word's line is re-marked dirty, so a later
+        flush honestly repairs it; only a crash before that exposes the
+        tear. Returns #lines written back (like :meth:`flush`).
+        """
+        self._check(addr, length)
+        if length < ATOMIC_WORD:
+            return self.flush(addr, length)
+        first = (addr + ATOMIC_WORD - 1) // ATOMIC_WORD
+        last = (addr + length) // ATOMIC_WORD  # one-past-last full word
+        if last <= first:
+            return self.flush(addr, length)
+        word = int(rng.integers(first, last))
+        ws = word * ATOMIC_WORD
+        saved = bytes(self.durable[ws : ws + ATOMIC_WORD])
+        n = self.flush(addr, length)
+        self.durable[ws : ws + ATOMIC_WORD] = saved
+        self._dirty[ws // CACHELINE] = True
+        self.stats.torn_stores += 1
+        return n
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -14,6 +14,14 @@ and the convenience :meth:`read` / :meth:`write` passthroughs — those
 model reads/writes whose *timing* is charged elsewhere (e.g. inbound
 RDMA DMA, whose time lives in the fabric model).
 
+Every persist boundary and atomic metadata store is also a fault
+*injection site*: :meth:`persist` fires ``nvm.persist``, :meth:`flush`
+fires ``nvm.flush`` (the state-level writeback used where timing is
+charged by the caller), and :meth:`write_atomic64` fires
+``nvm.store64``. These sites carry the media-fault kinds
+(``nvm_bitrot``, ``nvm_torn_store``) and double as the crash points the
+crash-point matrix (:mod:`repro.harness.crashmatrix`) enumerates.
+
 Default constants approximate Optane DC PMM behind a DDR bus and are
 recorded (with their calibration rationale) in DESIGN.md §6.
 """
@@ -117,10 +125,26 @@ class NVMDevice:
         self.buffer.write(addr, data)
 
     def write_atomic64(self, addr: int, data: bytes) -> None:
+        if self.injector is not None:
+            self.injector.fire("nvm.store64")
         self.buffer.write_atomic64(addr, data)
 
     def is_persistent(self, addr: int, length: int) -> bool:
         return self.buffer.is_persistent(addr, length)
+
+    def flush(self, addr: int, length: int) -> int:
+        """State-level writeback through the ``nvm.flush`` injection site.
+
+        Timing is charged by the caller (paths that fold the CLWB+fence
+        cost into their own timeouts); the site still exists so the
+        crash matrix can pull the plug at, and media faults can target,
+        every persist boundary — not just the timed :meth:`persist`.
+        """
+        if self.injector is not None:
+            act = self.injector.fire("nvm.flush")
+            if act is not None:
+                return self._faulted_flush(act, addr, length)
+        return self.buffer.flush(addr, length)
 
     # -- timed operations -----------------------------------------------------
     def store(
@@ -151,19 +175,50 @@ class NVMDevice:
         one fence; the state transition only copies dirty lines.
         """
         cost = self.timing.flush_cost(length)
+        act = None
         if self.injector is not None:
             act = self.injector.fire("nvm.persist")
             if act is not None and act.kind == "nvm_spike":
                 # Media congestion / write-pressure throttling spike.
                 cost = cost * act.factor + act.delay_ns
         yield self.env.timeout(cost)
+        if act is not None and act.kind in ("nvm_bitrot", "nvm_torn_store"):
+            return self._faulted_flush(act, addr, length)
         return self.buffer.flush(addr, length)
 
+    def _faulted_flush(self, act, addr: int, length: int) -> int:
+        """Resolve a media-fault action on one writeback."""
+        rng = getattr(self.injector, "media_rng", None)
+        if act.kind == "nvm_torn_store" and rng is not None:
+            return self.buffer.flush_torn(addr, length, rng)
+        n = self.buffer.flush(addr, length)
+        if act.kind == "nvm_bitrot" and rng is not None and length > 0:
+            off = int(rng.integers(length))
+            self.buffer.corrupt(addr + off, "bitflip", rng=rng)
+        return n
+
     # -- crash -----------------------------------------------------------------
-    def crash(self, rng: np.random.Generator, evict_probability: float = 0.5) -> dict:
+    def crash(
+        self,
+        rng: np.random.Generator,
+        evict_probability: float = 0.5,
+        *,
+        tear_words: bool = False,
+    ) -> dict:
         """Power-fail the device (state only; orchestration is in
         :mod:`repro.harness.crash`)."""
-        return self.buffer.crash(rng, evict_probability)
+        return self.buffer.crash(rng, evict_probability, tear_words=tear_words)
+
+    def corrupt(
+        self,
+        addr: int,
+        kind: str = "bitflip",
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> dict:
+        """Seeded latent media corruption (see
+        :meth:`repro.mem.buffer.PersistentBuffer.corrupt`)."""
+        return self.buffer.corrupt(addr, kind, rng=rng)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<NVMDevice {self.name} size={self.size}>"

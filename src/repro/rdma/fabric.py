@@ -200,6 +200,8 @@ class Fabric:
         node: Node,
         rng: np.random.Generator,
         evict_probability: float = 0.5,
+        *,
+        tear_words: bool = False,
     ) -> dict:
         """Power-fail ``node``: tear in-flight writes, then crash its device.
 
@@ -207,7 +209,8 @@ class Fabric:
         of its cachelines, biased by transfer progress — NICs and PCIe
         may reorder, so the surviving subset is not a prefix. The
         device's own dirty lines are then resolved by natural-eviction
-        coin flips (:meth:`repro.mem.buffer.PersistentBuffer.crash`).
+        coin flips (:meth:`repro.mem.buffer.PersistentBuffer.crash`);
+        ``tear_words`` selects the word-granular crash model there.
         """
         if not node.alive:
             raise SimulationError(f"{node.name} already crashed")
@@ -233,7 +236,9 @@ class Fabric:
             torn += 1
         summary = {"torn_writes": torn}
         if node.device is not None:
-            summary.update(node.device.crash(rng, evict_probability))
+            summary.update(
+                node.device.crash(rng, evict_probability, tear_words=tear_words)
+            )
         return summary
 
     def restart_node(self, node: Node) -> None:

@@ -182,10 +182,15 @@ class RpcServer:
         NVM state after the crash (it would publish torn data with a
         trusted durability flag).
         """
-        if self._proc is not None and self._proc.is_alive:
+        # A process cannot interrupt itself: when stop() runs *inside* a
+        # handler (the crash hook pulling the plug mid-dispatch), the
+        # active process is skipped — it dies by the exception it is
+        # about to raise.
+        active = self.env.active_process
+        if self._proc is not None and self._proc.is_alive and self._proc is not active:
             self._proc.interrupt("stop")
         for proc in list(self._handler_procs):
-            if proc.is_alive:
+            if proc.is_alive and proc is not active:
                 proc.interrupt("stop")
         self._handler_procs.clear()
 

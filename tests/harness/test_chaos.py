@@ -119,3 +119,16 @@ def test_trace_records_fault_events():
     )
     if report.fault_schedule:  # deterministic given the spec
         assert any(k.startswith("fault.") for k in report.trace_counts)
+
+
+@pytest.mark.parametrize("plan", ["bitrot", "torn-media"])
+def test_media_plans_auto_engage_the_scrubber(plan):
+    """Media-fault plans run eFactory with the online scrubber armed:
+    the report carries its counters and no guarantee is violated (rot
+    is repaired by rollback or surfaced as a loud miss, never served)."""
+    report = run_chaos_experiment(ChaosSpec(store="efactory", plan=plan, **SMALL))
+    assert report.ok, report.violations
+    assert set(report.scrub) == {
+        "scrubbed", "corrupt_found", "repaired", "unrepairable"
+    }
+    assert report.scrub["scrubbed"] > 0  # the scrubber really ran

@@ -85,7 +85,7 @@ class TestCrash:
         buf.flush(0, 4)
         buf.write(64, b"lose")
         summary = buf.crash(rng(), evict_probability=0.0)
-        assert summary == {"evicted": 0, "lost": 1}
+        assert summary == {"evicted": 0, "lost": 1, "torn": 0}
         assert buf.read(0, 4) == b"keep"
         assert buf.read(64, 4) == b"\x00" * 4
 

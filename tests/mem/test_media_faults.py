@@ -1,0 +1,135 @@
+"""The media-fault model: seeded latent corruption, torn persists, and
+the word-granular crash tearing that motivates them."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.mem.buffer import ATOMIC_WORD, CACHELINE, PersistentBuffer
+
+
+def _buf(size=1024):
+    return PersistentBuffer(size)
+
+
+class TestCorrupt:
+    def test_bitflip_hits_durable_and_clean_visible(self):
+        buf = _buf()
+        buf.write(0, bytes([0x00]) * 64)
+        buf.flush(0, 64)
+        summary = buf.corrupt(5, "bitflip")
+        assert summary["kind"] == "bitflip" and summary["masked"] is False
+        assert buf.durable[5] == 1 << summary["bit"]
+        # line was clean: the rot is immediately visible to reads
+        assert buf.visible[5] == buf.durable[5]
+
+    def test_dirty_line_masks_rot_until_writeback(self):
+        buf = _buf()
+        buf.write(0, bytes([0x7F]) * 64)
+        buf.flush(0, 64)
+        buf.write(3, b"\x7f")  # re-dirty the line with the same data
+        summary = buf.corrupt(3, "bitflip")
+        assert summary["masked"] is True
+        assert buf.visible[3] == 0x7F  # cache still holds the good byte
+        assert buf.durable[3] != 0x7F
+        buf.flush(0, 64)  # writeback heals the media
+        assert buf.durable[3] == 0x7F
+
+    def test_zero_line_zeroes_the_whole_cacheline(self):
+        buf = _buf()
+        buf.write(0, bytes([0xEE]) * 2 * CACHELINE)
+        buf.flush(0, 2 * CACHELINE)
+        buf.corrupt(CACHELINE + 7, "zero_line")
+        assert bytes(buf.durable[CACHELINE : 2 * CACHELINE]) == bytes(CACHELINE)
+        # the neighbouring line is untouched
+        assert bytes(buf.durable[:CACHELINE]) == bytes([0xEE]) * CACHELINE
+
+    def test_seeded_bit_choice_is_deterministic(self):
+        picks = set()
+        for _ in range(3):
+            buf = _buf()
+            buf.write(0, bytes(64))
+            buf.flush(0, 64)
+            s = buf.corrupt(0, "bitflip", rng=np.random.default_rng(42))
+            picks.add(s["bit"])
+        assert len(picks) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            _buf().corrupt(0, "cosmic-ray")
+
+
+class TestFlushTorn:
+    def test_leaves_exactly_one_word_stale_and_redirty(self):
+        buf = _buf()
+        old = bytes(range(64))
+        buf.write(0, old)
+        buf.flush(0, 64)
+        new = bytes([0xCD]) * 64
+        buf.write(0, new)
+        buf.flush_torn(0, 64, np.random.default_rng(1))
+        stale = [
+            w
+            for w in range(64 // ATOMIC_WORD)
+            if bytes(buf.durable[w * ATOMIC_WORD : (w + 1) * ATOMIC_WORD])
+            == old[w * ATOMIC_WORD : (w + 1) * ATOMIC_WORD]
+        ]
+        assert len(stale) == 1
+        assert buf.stats.torn_stores == 1
+        # the tear is honest: its line is dirty again, so a later flush
+        # completes the store instead of hiding the lost word forever
+        assert not buf.is_persistent(0, 64)
+        buf.flush(0, 64)
+        assert bytes(buf.durable[:64]) == new
+
+    def test_subword_ranges_degrade_to_plain_flush(self):
+        buf = _buf()
+        buf.write(0, b"\x11" * 4)
+        buf.flush_torn(0, 4, np.random.default_rng(0))
+        assert bytes(buf.durable[:4]) == b"\x11" * 4
+        assert buf.stats.torn_stores == 0
+
+
+class TestWordGranularCrash:
+    def test_wide_store_tears_at_word_granularity(self):
+        buf = _buf()
+        old = bytes(range(64))
+        buf.write(0, old)
+        buf.flush(0, 64)
+        new = bytes([0xAB]) * 64
+        buf.write(0, new)  # dirty full line
+        summary = buf.crash(np.random.default_rng(0), 0.5, tear_words=True)
+        assert summary["torn"] == 1
+        # every aligned word resolved atomically: old bytes or new bytes,
+        # never a blend inside one word
+        mixed = set()
+        for w in range(64 // ATOMIC_WORD):
+            got = bytes(buf.durable[w * ATOMIC_WORD : (w + 1) * ATOMIC_WORD])
+            assert got in (
+                old[w * ATOMIC_WORD : (w + 1) * ATOMIC_WORD],
+                new[w * ATOMIC_WORD : (w + 1) * ATOMIC_WORD],
+            )
+            mixed.add(got == new[w * ATOMIC_WORD : (w + 1) * ATOMIC_WORD])
+        assert mixed == {True, False}  # the line really landed partially
+
+    def test_aligned_word_store_stays_atomic(self):
+        buf = _buf()
+        buf.write_atomic64(0, b"\x01" * 8)
+        buf.flush(0, 8)
+        buf.write_atomic64(0, b"\x02" * 8)
+        for seed in range(8):
+            clone = _buf()
+            clone.write_atomic64(0, b"\x01" * 8)
+            clone.flush(0, 8)
+            clone.write_atomic64(0, b"\x02" * 8)
+            clone.crash(np.random.default_rng(seed), 0.5, tear_words=True)
+            assert bytes(clone.durable[:8]) in (b"\x01" * 8, b"\x02" * 8)
+
+    def test_same_seed_same_outcome(self):
+        imgs = []
+        for _ in range(2):
+            buf = _buf()
+            buf.write(0, bytes(range(256)))
+            buf.crash(np.random.default_rng(9), 0.5, tear_words=True)
+            imgs.append(bytes(buf.durable))
+        assert imgs[0] == imgs[1]

@@ -1,0 +1,102 @@
+"""Recovery is idempotent: re-running it (because the machine crashed
+*during* recovery and it started over) must converge to the same NVM
+image and treat the already-recovered state as a no-op."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import recover_bucketized
+from repro.errors import PowerFailure
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.sim.rng import RngRegistry
+from tests.conftest import run1, small_store
+
+
+def _key(i):
+    return f"idem-{i:011d}".encode()
+
+
+def _digest(server):
+    buf = server.device.buffer
+    h = hashlib.sha256()
+    h.update(bytes(buf.durable))
+    h.update(bytes(buf.visible))
+    return h.hexdigest()
+
+
+def _populate_and_crash(env, setup, n_keys=16, settle_ns=120_000):
+    """Two versions per key, a *partial* settle (some objects still
+    unverified), then a word-tearing power failure."""
+    c = setup.client()
+
+    def work():
+        for ver in (1, 2):
+            for i in range(n_keys):
+                yield from c.put(_key(i), bytes([ver]) * 64)
+
+    run1(env, work())
+    env.run(until=env.now + settle_ns)
+    setup.server.stop()
+    setup.fabric.crash_node(
+        setup.server.node, np.random.default_rng(3), 0.5, tear_words=True
+    )
+    setup.fabric.restart_node(setup.server.node)
+
+
+def _recover(env, setup):
+    return env.run(env.process(recover_bucketized(setup.server)))
+
+
+@pytest.mark.parametrize("partitions", [1, 4])
+def test_second_recovery_run_is_a_noop(env, partitions):
+    overrides = {"num_partitions": partitions} if partitions > 1 else {}
+    setup = small_store("efactory", env, **overrides)
+    _populate_and_crash(env, setup)
+
+    first = _recover(env, setup)
+    image = _digest(setup.server)
+    second = _recover(env, setup)
+
+    assert _digest(setup.server) == image
+    assert second.keys_rolled_back == 0
+    assert second.keys_lost == 0
+    assert second.torn_objects == 0
+    assert first.keys_recovered + first.keys_rolled_back >= second.keys_recovered
+
+
+def test_crash_mid_recovery_converges(env):
+    """Power-fail recovery itself at a fixed step; the re-run must land
+    on a stable image that a further run leaves untouched."""
+    setup = small_store("efactory", env)
+    _populate_and_crash(env, setup)
+
+    rngs = RngRegistry(5)
+    rule = FaultRule(
+        kind="crash", site="recovery.step", after_op=3, before_op=4, max_fires=1
+    )
+    injector = FaultInjector(env, FaultPlan("midrec", (rule,)), rngs)
+
+    def hook(site):
+        setup.fabric.crash_node(
+            setup.server.node, rngs.stream("c2"), 0.5, tear_words=True
+        )
+        raise PowerFailure(f"double crash at {site}")
+
+    injector.crash_hook = hook
+    setup.server.device.injector = injector
+
+    with pytest.raises(PowerFailure):
+        _recover(env, setup)
+
+    setup.server.device.injector = None
+    setup.fabric.restart_node(setup.server.node)
+    _recover(env, setup)
+    image = _digest(setup.server)
+    report = _recover(env, setup)
+
+    assert _digest(setup.server) == image
+    assert report.keys_rolled_back == 0
+    assert report.keys_lost == 0

@@ -121,3 +121,22 @@ def test_unknown_store_rejected():
 def test_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_crashmatrix(capsys, tmp_path):
+    path = tmp_path / "matrix.json"
+    rc = main(
+        [
+            "crashmatrix", "--store", "efactory", "--max-per-site", "1",
+            "--recovery-points", "1", "--sites", "nvm.persist",
+            "--no-replay", "--strict", "--json", str(path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "crash-point matrix" in out
+    assert "0 violation(s)" in out
+    payload = json.loads(path.read_text())
+    assert payload["violations"] == []
+    assert payload["non_idempotent"] == []
+    assert payload["total_points"] >= 1
