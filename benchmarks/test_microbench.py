@@ -78,3 +78,29 @@ def test_buffer_flush_sweep(benchmark):
         return buf.flush(0, 1 << 20)
 
     assert benchmark(run) >= 0
+
+
+def test_amortization_simulated_speedups(benchmark):
+    """The PR-5 hot-path claims, in *simulated* time: the doorbell
+    pipeline at batch >= 8 at least doubles PUT throughput, and a warm
+    location cache improves pure-GET hit latency by >= 1.3x."""
+    from repro.harness.bench import run_bench_suite
+
+    suite = benchmark(run_bench_suite, ops=128, put_batch=8)
+    rows = {(r["bench"], r["partitions"]): r for r in suite["results"]}
+    for parts in (1, 4):
+        put = rows[("put", parts)]
+        many = rows[("put_many", parts)]
+        assert many["ops_per_sec"] >= 2.0 * put["ops_per_sec"], (
+            f"put_many at batch 8 only "
+            f"{many['ops_per_sec'] / put['ops_per_sec']:.2f}x sequential "
+            f"put at {parts} partition(s)"
+        )
+        uncached = rows[("get_uncached", parts)]
+        cached = rows[("get_cached", parts)]
+        assert cached["cache_misses"] == 0  # every measured GET hit
+        assert uncached["p50_ns"] >= 1.3 * cached["p50_ns"], (
+            f"cached GET p50 only "
+            f"{uncached['p50_ns'] / cached['p50_ns']:.2f}x better "
+            f"at {parts} partition(s)"
+        )

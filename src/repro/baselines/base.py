@@ -71,6 +71,8 @@ __all__ = [
     "PUT_REQUEST_OVERHEAD",
     "GET_REQUEST_OVERHEAD",
     "RESPONSE_BYTES",
+    "PUT_BATCH_ITEM_OVERHEAD",
+    "BATCH_RESPONSE_ITEM_BYTES",
 ]
 
 #: Wire bytes of a PUT allocation request beyond the key itself
@@ -80,6 +82,11 @@ PUT_REQUEST_OVERHEAD = 40
 GET_REQUEST_OVERHEAD = 24
 #: Wire bytes of a small control response (offset + status).
 RESPONSE_BYTES = 32
+#: Extra wire bytes per additional item in a coalesced ``alloc_batch``
+#: request (vlen, crc, alloc_id — the op code and framing are shared).
+PUT_BATCH_ITEM_OVERHEAD = 16
+#: Extra wire bytes per additional item in an ``alloc_batch`` response.
+BATCH_RESPONSE_ITEM_BYTES = 24
 
 
 @dataclass(frozen=True)
@@ -127,6 +134,19 @@ class StoreConfig:
     verify_timeout_ns: float = 50_000.0
     bg_idle_poll_ns: float = 2_000.0
     bg_retry_delay_ns: float = 3_000.0
+    #: Objects the background verifier drains per wakeup. 1 keeps the
+    #: seed's one-object-per-wakeup poll loop bit-for-bit; > 1 switches
+    #: the verifier to event-driven wakeups with coalesced flushes.
+    bg_batch: int = 1
+
+    # batched PUT pipeline (put_many)
+    #: Alloc requests coalesced into one ``alloc_batch`` SEND and value
+    #: WRITEs chained per doorbell batch.
+    put_batch: int = 16
+    #: Doorbell batches allowed in flight concurrently: while batch i's
+    #: WRITEs are on the wire the client already issues batch i+1's
+    #: alloc RPC, so independent PUTs overlap instead of serializing.
+    put_window: int = 2
 
     # online media scrubbing (0 = disabled; see repro.core.scrub)
     scrub_interval_ns: float = 0.0
@@ -149,6 +169,12 @@ class StoreConfig:
             raise ConfigError("num_partitions must be >= 1")
         if self.scrub_interval_ns < 0:
             raise ConfigError("scrub_interval_ns must be >= 0")
+        if self.bg_batch < 1:
+            raise ConfigError("bg_batch must be >= 1")
+        if self.put_batch < 1:
+            raise ConfigError("put_batch must be >= 1")
+        if self.put_window < 1:
+            raise ConfigError("put_window must be >= 1")
         if self.table_buckets % self.num_partitions != 0:
             raise ConfigError(
                 "table_buckets must be divisible by num_partitions "
@@ -368,6 +394,7 @@ class BaseServer:
     def _register_handlers(self) -> None:
         """Subclasses register their RPC handlers here."""
         self.rpc.register("alloc", self._handle_alloc)
+        self.rpc.register("alloc_batch", self._handle_alloc_batch)
 
     # -- the shared allocation path (client-active PUT, steps 2-4) -------------
     def _handle_alloc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
@@ -394,6 +421,59 @@ class BaseServer:
             )
         finally:
             part.release_budget(budget)
+
+    # -- the coalesced allocation path (put_many, one SEND for N allocs) -------
+    def _handle_alloc_batch(
+        self, msg: Message
+    ) -> Generator[Event, Any, tuple[Any, int]]:
+        """Serve N allocation requests from one ``alloc_batch`` SEND.
+
+        Requests are grouped by partition and each group is served under
+        one budget acquisition as a slab: the first allocation in a
+        group pays the allocator's CPU cost, the rest ride the same
+        log-head bump (``charge_alloc=False``). Per-item failures come
+        back as per-item error payloads so one exhausted partition does
+        not fail the whole batch.
+        """
+        reqs = msg.payload["reqs"]
+        results: list[Any] = [None] * len(reqs)
+        groups: dict[int, list[int]] = {}
+        for idx, r in enumerate(reqs):
+            part = self.partition_for_key(r["key"])
+            groups.setdefault(part.part_id, []).append(idx)
+        for part_id, indexes in groups.items():
+            part = self.partitions[part_id]
+            budget = yield from part.acquire_budget()
+            try:
+                first = True
+                for idx in indexes:
+                    r = reqs[idx]
+                    try:
+                        loc, entry_off = yield from part.alloc_object(
+                            r["key"],
+                            r["vlen"],
+                            r.get("crc", 0),
+                            publish=self.publish_on_alloc,
+                            charge_alloc=first,
+                        )
+                    except StoreError as exc:
+                        results[idx] = rpc_error_for(exc)
+                        continue
+                    first = False
+                    self.pending_allocs[r["alloc_id"]] = (
+                        loc, entry_off, len(r["key"]), part,
+                    )
+                    results[idx] = {
+                        "pool": loc.pool,
+                        "value_off": loc.offset + HEADER_SIZE + len(r["key"]),
+                        "obj_off": loc.offset,
+                        "size": loc.size,
+                        "part": part.part_id,
+                    }
+            finally:
+                part.release_budget(budget)
+        nbytes = RESPONSE_BYTES + BATCH_RESPONSE_ITEM_BYTES * max(0, len(reqs) - 1)
+        return {"results": results}, nbytes
 
     def alloc_object(
         self,
@@ -613,11 +693,20 @@ class BaseClient:
         part = msg.payload.get("part", 0)
         if state == "start":
             self._cleaning_parts.add(part)
+            self._cleaning_started(part)
             yield from self.ep.send(
                 {"op": "cleaning_ack", "part": part}, 24, in_reply_to=msg.req_id
             )
         elif state == "finish":
             self._cleaning_parts.discard(part)
+            self._cleaning_finished(part)
+
+    def _cleaning_started(self, part: int) -> None:
+        """Subclass hook: a partition entered log cleaning (eFactory
+        flushes its location cache for that partition here)."""
+
+    def _cleaning_finished(self, part: int) -> None:
+        """Subclass hook: a partition finished log cleaning."""
 
     # -- client-active PUT (§4.3.1) ----------------------------------------------
     def put_client_active(
@@ -656,7 +745,149 @@ class BaseClient:
             overlap = self.env.now - t0
             if crc_ns > overlap:
                 yield self.env.timeout(crc_ns - overlap)
+        self._note_alloc(key, resp)
         yield from self.write_value(resp, value)
+
+    def _note_alloc(self, key: bytes, resp: dict) -> None:
+        """Subclass hook: the server granted ``key`` a fresh location
+        (eFactory refreshes its client-side location cache here)."""
+
+    # -- batched client-active PUT (the doorbell pipeline) -----------------------
+    def put_many_client_active(
+        self, items: "list[tuple[bytes, bytes]]", *, with_crc: bool
+    ) -> Generator[Event, Any, None]:
+        """PUT many key/value pairs through the amortized pipeline.
+
+        Per chunk of ``config.put_batch`` items: one ``alloc_batch``
+        SEND replaces N alloc round trips, then the value WRITEs are
+        posted as one doorbell batch with selective signaling
+        (:meth:`Endpoint.write_many`). Up to ``config.put_window``
+        doorbell batches stay in flight while the client issues the next
+        chunk's alloc RPC, so independent PUTs overlap instead of
+        serializing. Durability semantics per item are identical to
+        :meth:`put_client_active` (ack ≠ durable; the server's
+        background verifier persists each object).
+
+        With resilience attached, each chunk runs serially under the
+        whole-chunk retry policy (fresh allocations per attempt, same
+        rationale as the whole-PUT retry).
+        """
+        if not items:
+            return
+        batch = self.config.put_batch
+        chunks = [items[i : i + batch] for i in range(0, len(items), batch)]
+        if self.resilience is not None:
+            for chunk in chunks:
+                yield from self.call_resilient(
+                    lambda c=chunk: self._put_chunk(c, with_crc),
+                    label="put_many",
+                )
+            return
+        outstanding: list = []
+        failures: list[BaseException] = []
+        for chunk in chunks:
+            crcs = [crc32_fast(v) if with_crc else 0 for _, v in chunk]
+            t0 = self.env.now
+            resps = yield from self.alloc_batch_rpc(chunk, crcs)
+            if with_crc:
+                crc_ns = sum(
+                    self.config.crc_cost.cost_ns(len(v)) for _, v in chunk
+                )
+                overlap = self.env.now - t0
+                if crc_ns > overlap:
+                    yield self.env.timeout(crc_ns - overlap)
+            proc = self.env.process(
+                self._write_batch_guarded(resps, [v for _, v in chunk], failures),
+                name=f"{self.name}-doorbell",
+            )
+            outstanding.append(proc)
+            # Completion window: block only when put_window batches are
+            # already on the wire.
+            live = [p for p in outstanding if p.is_alive]
+            while len(live) >= self.config.put_window:
+                yield self.env.any_of(live)
+                live = [p for p in outstanding if p.is_alive]
+            outstanding = live
+        for proc in outstanding:
+            if proc.is_alive:
+                yield proc
+        if failures:
+            raise failures[0]
+
+    def _put_chunk(
+        self, chunk: "list[tuple[bytes, bytes]]", with_crc: bool
+    ) -> Generator[Event, Any, None]:
+        """One chunk, serially: alloc_batch then the doorbell WRITEs
+        (the resilient path retries this whole generator)."""
+        crcs = [crc32_fast(v) if with_crc else 0 for _, v in chunk]
+        t0 = self.env.now
+        resps = yield from self.alloc_batch_rpc(chunk, crcs)
+        if with_crc:
+            crc_ns = sum(self.config.crc_cost.cost_ns(len(v)) for _, v in chunk)
+            overlap = self.env.now - t0
+            if crc_ns > overlap:
+                yield self.env.timeout(crc_ns - overlap)
+        yield from self._write_batch(resps, [v for _, v in chunk])
+
+    def alloc_batch_rpc(
+        self, chunk: "list[tuple[bytes, bytes]]", crcs: "list[int]"
+    ) -> Generator[Event, Any, list]:
+        """One SEND carrying N allocation requests; returns N grants.
+
+        Raises :class:`RpcFault` on the first per-item error (same
+        surface as N individual :meth:`alloc_rpc` calls).
+        """
+        reqs = []
+        for (key, value), crc in zip(chunk, crcs):
+            reqs.append(
+                {
+                    "key": key,
+                    "vlen": len(value),
+                    "crc": crc,
+                    "alloc_id": self._next_alloc_id(),
+                }
+            )
+        nbytes = (
+            PUT_REQUEST_OVERHEAD
+            + sum(len(k) for k, _ in chunk)
+            + PUT_BATCH_ITEM_OVERHEAD * max(0, len(chunk) - 1)
+        )
+        resp = yield from self.rpc.call(
+            {"op": "alloc_batch", "reqs": reqs}, nbytes
+        )
+        results = resp["results"]
+        for r, req, (key, _v) in zip(results, reqs, chunk):
+            if isinstance(r, dict) and "error" in r:
+                raise RpcFault(
+                    r["error"], code=r.get("code", "unknown"), op="alloc_batch"
+                )
+            r["alloc_id"] = req["alloc_id"]
+            self._note_alloc(key, r)
+        return results
+
+    def _write_batch(
+        self, resps: list, values: "list[bytes]"
+    ) -> Generator[Event, Any, None]:
+        """Post one chunk's value WRITEs as a doorbell batch."""
+        writes = []
+        for resp, value in zip(resps, values):
+            part = resp.get("part", 0)
+            writes.append(
+                (self._pool_rkey(part, resp["pool"]), resp["value_off"], value)
+            )
+        if writes:
+            self._note_part(resps[0].get("part", 0))
+            yield from self.ep.write_many(writes)
+
+    def _write_batch_guarded(
+        self, resps: list, values: "list[bytes]", failures: "list[BaseException]"
+    ) -> Generator[Event, Any, None]:
+        """Window wrapper: capture faults instead of letting an
+        unwaited process escalate them through the kernel."""
+        try:
+            yield from self._write_batch(resps, values)
+        except (QPError, RpcFault, StoreError) as exc:
+            failures.append(exc)
 
     def alloc_rpc(
         self, key: bytes, vlen: int, crc: int
@@ -710,6 +941,15 @@ class BaseClient:
     # -- interface -------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
         raise NotImplementedError
+
+    def put_many(
+        self, items: "list[tuple[bytes, bytes]]"
+    ) -> Generator[Event, Any, None]:
+        """PUT many pairs.  Default: sequential :meth:`put` calls — the
+        client-active stores override this with the doorbell-batched
+        pipeline (:meth:`put_many_client_active`)."""
+        for key, value in items:
+            yield from self.put(key, value)
 
     def get(
         self, key: bytes, size_hint: Optional[int] = None

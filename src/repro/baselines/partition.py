@@ -138,18 +138,23 @@ class Partition:
         *,
         publish: bool = True,
         flags: int = FLAG_VALID,
+        charge_alloc: bool = True,
     ) -> Generator[Event, Any, tuple[ObjectLocation, int]]:
         """Allocate + write header/key (+ index update when ``publish``).
 
         Runs inside a request handler (CPU already held). Returns the
         location and the hash-entry offset. ``publish=False`` defers the
         index update (IMM/SAW publish only after the data is durable).
+        ``charge_alloc=False`` skips the allocator's CPU cost — the
+        ``alloc_batch`` handler carves one slab per partition group, so
+        only the group's first object pays the log-head bump.
         """
         cfg = self.config
         env = self.env
         pool = self.pools[self.write_pool_id]
         size = object_size(len(key), vlen)
-        yield env.timeout(cfg.alloc_ns)
+        if charge_alloc:
+            yield env.timeout(cfg.alloc_ns)
         offset = pool.allocate(size)
         loc = ObjectLocation(pool=pool.pool_id, offset=offset, size=size)
 

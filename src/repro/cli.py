@@ -155,6 +155,23 @@ def build_parser() -> argparse.ArgumentParser:
     part_p.add_argument("--clients", type=int, default=16)
     part_p.add_argument("--json", metavar="PATH", default=None)
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="amortization microbenchmarks (doorbell PUT, location cache)",
+    )
+    bench_p.add_argument("--ops", type=int, default=256)
+    bench_p.add_argument("--value-size", type=int, default=64)
+    bench_p.add_argument("--put-batch", type=int, default=16)
+    bench_p.add_argument(
+        "--partitions", type=int, nargs="+", default=[1, 4]
+    )
+    bench_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_pr5.json",
+        help="JSON output path (default: BENCH_pr5.json)",
+    )
+
     return parser
 
 
@@ -396,6 +413,39 @@ def _cmd_partitions(args: argparse.Namespace) -> tuple[str, Any]:
     return text, {"throughput_mops": _jsonable(tput), "recovery_ns": _jsonable(recov)}
 
 
+def _cmd_bench(args: argparse.Namespace) -> tuple[str, Any]:
+    from repro.harness.bench import run_bench_suite
+
+    payload = run_bench_suite(
+        ops=args.ops,
+        value_len=args.value_size,
+        partitions=tuple(args.partitions),
+        put_batch=args.put_batch,
+    )
+    table = Table(
+        ["bench", "parts", "ops/s", "p50", "p99", "hits", "doorbells"]
+    )
+    for row in payload["results"]:
+        table.add(
+            row["bench"],
+            str(row["partitions"]),
+            fmt_mops(row["ops_per_sec"] / 1e6),
+            fmt_ns(row["p50_ns"]),
+            fmt_ns(row["p99_ns"]),
+            str(row.get("cache_hits", "-")),
+            str(row.get("doorbell_batches", "-")),
+        )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    text = (
+        banner("Amortization microbenchmarks")
+        + "\n"
+        + table.render()
+        + f"\n(json written to {args.out})"
+    )
+    return text, payload
+
+
 def _jsonable(obj: Any) -> Any:
     """Coerce experiment dicts (int keys, tuples) into JSON-safe data."""
     if isinstance(obj, dict):
@@ -422,6 +472,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload, status = _cmd_crashmatrix(args)
     elif args.command == "partitions":
         text, payload = _cmd_partitions(args)
+    elif args.command == "bench":
+        text, payload = _cmd_bench(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(text)

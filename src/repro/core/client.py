@@ -7,11 +7,23 @@ CRC, zero server CPU. Otherwise fall back to the RPC+RDMA read: GET
 request by SEND (step 5), server resolves a durable location (steps
 6–8), client READs it (step 9).
 
+The *location cache* (``loc_cache_size > 0``) amortizes step 2 away: a
+bounded LRU of key → (partition, slot) lets a warm GET issue one READ
+straight at the object. The object image itself is the staleness
+detector — an overwritten version carries a set ``nxt_ptr`` (the
+allocator links it forward before the new version is even visible), a
+deleted version drops FLAG_VALID, and a version migrated by log
+cleaning gains FLAG_TRANS. Any of these drops the entry and retries via
+the two-READ path, so a hit can never return a superseded value.
+
 During log cleaning the client obeys the server's notification and uses
 only the RPC+RDMA path (§4.4) — but only for keys on the *cleaning
-partition*; the other shards stay on the pure path. With
-``hybrid_read=False`` every read takes the RPC+RDMA path (the
-"eFactory w/o hr" ablation), counted separately from genuine fallbacks.
+partition*; the other shards stay on the pure path. The location cache
+is flushed per partition on the cleaning-start notice (migration moves
+objects under the cache's feet) and when resilience demotes a
+partition. With ``hybrid_read=False`` every read takes the RPC+RDMA
+path (the "eFactory w/o hr" ablation), counted separately from genuine
+fallbacks.
 """
 
 from __future__ import annotations
@@ -22,8 +34,10 @@ from typing import Any, Optional
 from repro.baselines.base import BaseClient, GET_REQUEST_OVERHEAD
 from repro.core.config import EFactoryConfig
 from repro.errors import OperationTimeout, QPError
-from repro.kv.hashtable import key_fingerprint
+from repro.kv.hashtable import Slot, key_fingerprint
+from repro.kv.objects import NULL_PTR, ObjectImage
 from repro.sim.kernel import Event
+from repro.util import LruMap
 
 __all__ = ["EFactoryClient"]
 
@@ -31,6 +45,7 @@ __all__ = ["EFactoryClient"]
 class EFactoryClient(BaseClient):
     def __init__(self, env, server, name: str) -> None:
         super().__init__(env, server, name)
+        cfg: EFactoryConfig = self.config  # type: ignore[assignment]
         #: Counters for the factor analysis (§6.1): how often the pure
         #: RDMA path sufficed, fell back to RPC+RDMA, or never attempted
         #: the pure path at all (hybrid read disabled).
@@ -40,13 +55,38 @@ class EFactoryClient(BaseClient):
         #: Reads routed straight to RPC because resilience demoted the
         #: key's partition (graceful degradation under injected faults).
         self.degraded_reads = 0
+        #: Location cache: key -> (partition, Slot).  Disabled (and
+        #: stateless) at the default ``loc_cache_size = 0``.
+        self._loc_cache: LruMap = LruMap(cfg.loc_cache_size)
+        self.cache_hits = 0
+        self.cache_misses = 0
         #: adaptive-read extension: key -> time until which the pure
         #: attempt is skipped (set after a fallback on that key).
-        self._skip_until: dict[bytes, float] = {}
+        #: Bounded: LRU-evicted past ``adaptive_skip_cap`` entries, and
+        #: expired entries are swept opportunistically on insert.
+        self._skip_until: LruMap = LruMap(cfg.adaptive_skip_cap)
 
     # -- PUT (Figure 5) ------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
         yield from self.put_client_active(key, value, with_crc=True)
+
+    def put_many(
+        self, items: "list[tuple[bytes, bytes]]"
+    ) -> Generator[Event, Any, None]:
+        """Doorbell-batched PUT pipeline: one ``alloc_batch`` SEND per
+        ``put_batch`` items, value WRITEs as one doorbell chain, up to
+        ``put_window`` chains in flight."""
+        yield from self.put_many_client_active(items, with_crc=True)
+
+    def _note_alloc(self, key: bytes, resp: dict) -> None:
+        """A fresh allocation is by construction the key's current
+        location — warm the cache so the next GET goes straight there."""
+        part = resp.get("part", 0)
+        if not self.partition_cleaning(part):
+            self._loc_cache.put(
+                key,
+                (part, Slot(pool=resp["pool"], size=resp["size"], offset=resp["obj_off"])),
+            )
 
     # -- GET (Figure 6) ---------------------------------------------------------
     def get(
@@ -62,6 +102,7 @@ class EFactoryClient(BaseClient):
         degraded = res is not None and res.partition_degraded(part, self.env.now)
         if degraded:
             self.degraded_reads += 1
+            self._flush_cache_partition(part)
         elif not self.partition_cleaning(part) and not self._skip(key, cfg):
             try:
                 value = yield from self._try_pure_read(key, part)
@@ -82,28 +123,66 @@ class EFactoryClient(BaseClient):
                     res.note_pure_ok(part)
             if value is not None:
                 self.pure_reads += 1
-                self._skip_until.pop(key, None)
+                self._skip_until.pop(key)
                 return value
             if cfg.adaptive_read:
-                self._skip_until[key] = self.env.now + cfg.adaptive_ttl_ns
+                self._skip_until.put(key, self.env.now + cfg.adaptive_ttl_ns)
+                self._skip_until.evict_expired(
+                    lambda _k, until: self.env.now >= until
+                )
         self.fallback_reads += 1
         return (yield from self._rpc_read(key))
 
     def _skip(self, key: bytes, cfg: EFactoryConfig) -> bool:
         if not cfg.adaptive_read:
             return False
-        until = self._skip_until.get(key)
+        until = self._skip_until.peek(key)
         if until is None:
             return False
         if self.env.now >= until:
-            del self._skip_until[key]
+            self._skip_until.pop(key)
             return False
         return True
+
+    # -- the location cache ------------------------------------------------------
+    @staticmethod
+    def _img_current(img: ObjectImage, key: bytes) -> bool:
+        """Is this image still the key's *current, in-place* version?
+        An overwrite sets ``nxt_ptr`` on the old version, a delete
+        clears FLAG_VALID, log cleaning sets FLAG_TRANS — each makes a
+        cached location untrustworthy."""
+        return (
+            img.well_formed
+            and img.key == key
+            and img.valid
+            and img.nxt_ptr == NULL_PTR
+            and not img.transferred
+        )
+
+    def _flush_cache_partition(self, part: int) -> None:
+        self._loc_cache.drop_where(lambda _k, v: v[0] == part)
+
+    def _cleaning_started(self, part: int) -> None:
+        """Migration is about to move this partition's objects: every
+        cached location there is suspect."""
+        self._flush_cache_partition(part)
 
     def _try_pure_read(
         self, key: bytes, part: int = 0
     ) -> Generator[Event, Any, Optional[bytes]]:
-        """Steps 1-4: two one-sided READs + durability-flag check."""
+        """Steps 1-4: two one-sided READs + durability-flag check — or a
+        single READ when the location cache still has the key."""
+        cached = self._loc_cache.get(key)
+        if cached is not None and cached[0] == part:
+            img = yield from self.read_object_at(cached[1], part)
+            if self._img_current(img, key):
+                self.cache_hits += 1
+                # Current but not yet durable: the bucket would point at
+                # this same slot, so skip the re-probe and fall back.
+                return img.value if img.durable else None
+            # Overwritten / deleted / migrated behind our back.
+            self._loc_cache.pop(key)
+        self.cache_misses += 1
         _fp, slots = yield from self.read_bucket(key)
         if slots is None:
             return None  # not in home bucket: let the server probe
@@ -115,6 +194,8 @@ class EFactoryClient(BaseClient):
             return None
         img = yield from self.read_object_at(slot, part)
         if img.well_formed and img.key == key and img.valid and img.durable:
+            if img.nxt_ptr == NULL_PTR and not img.transferred:
+                self._loc_cache.put(key, (part, slot))
             return img.value
         return None  # incomplete / not yet durable: re-read via RPC
 
@@ -141,6 +222,7 @@ class EFactoryClient(BaseClient):
 
     # -- extensions -----------------------------------------------------------------
     def delete(self, key: bytes) -> Generator[Event, Any, None]:
+        self._loc_cache.pop(key)
         yield from self.rpc.call(
             {"op": "delete", "key": key}, GET_REQUEST_OVERHEAD + len(key)
         )
@@ -151,4 +233,6 @@ class EFactoryClient(BaseClient):
             "fallback": self.fallback_reads,
             "rpc_only": self.rpc_only_reads,
             "degraded": self.degraded_reads,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }

@@ -40,11 +40,26 @@ class EFactoryConfig(StoreConfig):
     #: adaptive-read ablation bench).
     adaptive_read: bool = False
     adaptive_ttl_ns: float = 30_000.0
+    #: Client-side location cache capacity (key → (partition, slot)).
+    #: A hit turns the pure-RDMA GET's two READs into one; the object
+    #: image itself is the staleness detector (an overwritten version
+    #: carries a set ``nxt_ptr``, a deleted one drops FLAG_VALID, and a
+    #: migrated one gains FLAG_TRANS — any of these falls back to the
+    #: two-READ path and drops the entry).  0 (default) disables the
+    #: cache, preserving the seed's event sequence bit-for-bit.
+    loc_cache_size: int = 0
+    #: Bound on the adaptive-read skip map (entries, LRU-evicted).  The
+    #: map previously grew without bound under churn.
+    adaptive_skip_cap: int = 4096
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if not 0.0 < self.recv_batching <= 1.0:
             raise ConfigError("recv_batching must be in (0, 1]")
+        if self.loc_cache_size < 0:
+            raise ConfigError("loc_cache_size must be >= 0")
+        if self.adaptive_skip_cap < 1:
+            raise ConfigError("adaptive_skip_cap must be >= 1")
 
     @property
     def effective_dispatch_ns(self) -> float:

@@ -1,0 +1,194 @@
+"""Amortization microbenchmarks (the PR-5 hot-path suite).
+
+Four cells, each measured in *simulated* time so results are
+deterministic and platform-independent:
+
+* ``put`` — sequential client-active PUTs (one alloc RPC + one WRITE
+  each): the seed's baseline PUT path.
+* ``put_many`` — the doorbell-batched pipeline: one ``alloc_batch``
+  SEND per ``put_batch`` items, value WRITEs as one doorbell chain,
+  ``put_window`` chains in flight.
+* ``get_uncached`` — the pure-RDMA hybrid read with the location cache
+  disabled: two one-sided READs per hit.
+* ``get_cached`` — the same reads against a warm location cache: one
+  one-sided READ per hit.
+
+Each cell runs at 1 and 4 partitions by default. The suite is consumed
+by ``python -m repro bench`` (writes ``BENCH_pr5.json``) and by the
+simulated-ratio assertions in ``benchmarks/test_microbench.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.harness.metrics import LatencyRecorder
+from repro.sim.kernel import Environment, Event
+from repro.stores import StoreSetup, build_store
+from repro.workloads.keyspace import make_key, make_value
+
+__all__ = ["BenchSpec", "bench_cell", "run_bench_suite"]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One microbench cell."""
+
+    bench: str  # put | put_many | get_uncached | get_cached
+    partitions: int = 1
+    ops: int = 256
+    value_len: int = 64
+    key_len: int = 16
+    put_batch: int = 16
+    put_window: int = 2
+    bg_batch: int = 16
+    config_overrides: dict = field(default_factory=dict)
+
+
+def _deploy(spec: BenchSpec) -> tuple[Environment, StoreSetup]:
+    env = Environment()
+    obj = 64 + spec.key_len + spec.value_len
+    overrides: dict[str, Any] = {
+        # 2x headroom: preload + measured writes never exhaust the pool.
+        "pool_size": max(32 << 20, obj * spec.ops * 4),
+        "table_buckets": 2048,
+        "auto_clean": False,
+        "num_partitions": spec.partitions,
+        "put_batch": spec.put_batch,
+        "put_window": spec.put_window,
+    }
+    if spec.bench == "put_many":
+        overrides["bg_batch"] = spec.bg_batch
+    if spec.bench == "get_cached":
+        overrides["loc_cache_size"] = spec.ops
+    overrides.update(spec.config_overrides)
+    setup = build_store(
+        "efactory", env, config_overrides=overrides, n_clients=1
+    ).start()
+    return env, setup
+
+
+def _settle(env: Environment, setup: StoreSetup, budget_ns: float = 50_000_000.0) -> None:
+    """Let the background verifier drain so GETs hit durable objects."""
+    deadline = env.now + budget_ns
+    background = getattr(setup.server, "background", None)
+    while env.now < deadline:
+        env.run(until=min(deadline, env.now + 50_000.0))
+        if background is None or background.backlog == 0:
+            break
+
+
+def bench_cell(spec: BenchSpec) -> dict[str, Any]:
+    """Run one cell; returns a JSON-ready result row."""
+    env, setup = _deploy(spec)
+    client = setup.client(0)
+    keys = [make_key(i, spec.key_len) for i in range(spec.ops)]
+    values = [make_value(i, 0, spec.value_len) for i in range(spec.ops)]
+    items = list(zip(keys, values))
+    recorder = LatencyRecorder()
+
+    def measure_puts() -> Generator[Event, Any, None]:
+        for key, value in items:
+            t0 = env.now
+            yield from client.put(key, value)
+            recorder.record("op", env.now - t0)
+
+    def measure_put_many() -> Generator[Event, Any, None]:
+        # One wave per put_batch chunk: the wave latency amortized over
+        # its items is the per-item cost the pipeline achieves.
+        step = spec.put_batch
+        for i in range(0, len(items), step):
+            wave = items[i : i + step]
+            t0 = env.now
+            yield from client.put_many(wave)
+            per_item = (env.now - t0) / len(wave)
+            for _ in wave:
+                recorder.record("op", per_item)
+
+    def measure_gets() -> Generator[Event, Any, None]:
+        for key, value in items:
+            t0 = env.now
+            got = yield from client.get(key, size_hint=spec.value_len)
+            recorder.record("op", env.now - t0)
+            assert got == value
+
+    if spec.bench in ("put", "put_many"):
+        body = measure_puts if spec.bench == "put" else measure_put_many
+        t_start = env.now
+        env.run(env.process(body(), name="bench"))
+        elapsed = env.now - t_start
+    elif spec.bench in ("get_uncached", "get_cached"):
+        def preload() -> Generator[Event, Any, None]:
+            for key, value in items:
+                yield from client.put(key, value)
+
+        env.run(env.process(preload(), name="preload"))
+        _settle(env, setup)
+        if spec.bench == "get_cached":
+            # Warm pass: populates the location cache (PUT already
+            # noted the locations, but a read pass also exercises the
+            # bucket-path fill and proves the hits are hits).
+            env.run(env.process(measure_gets(), name="warm"))
+            recorder = LatencyRecorder()
+        t_start = env.now
+        env.run(env.process(measure_gets(), name="bench"))
+        elapsed = env.now - t_start
+    else:
+        raise ValueError(f"unknown bench {spec.bench!r}")
+
+    setup.server.stop()
+    row = {
+        "bench": spec.bench,
+        "partitions": spec.partitions,
+        "ops": spec.ops,
+        "value_len": spec.value_len,
+        "elapsed_ns": elapsed,
+        "ops_per_sec": spec.ops / elapsed * 1e9 if elapsed > 0 else 0.0,
+        "p50_ns": recorder.percentile(50.0, "op"),
+        "p99_ns": recorder.percentile(99.0, "op"),
+    }
+    if spec.bench.startswith("get"):
+        stats = client.read_stats()
+        row["cache_hits"] = stats.get("cache_hits", 0)
+        row["cache_misses"] = stats.get("cache_misses", 0)
+    if spec.bench == "put_many":
+        row["put_batch"] = spec.put_batch
+        row["put_window"] = spec.put_window
+        row["doorbell_batches"] = client.ep.stats.get("doorbell_batches", 0)
+        row["alloc_batch_rpcs"] = setup.server.rpc.served_by_op.get(
+            "alloc_batch", 0
+        )
+    return row
+
+
+def run_bench_suite(
+    *,
+    ops: int = 256,
+    value_len: int = 64,
+    partitions: tuple[int, ...] = (1, 4),
+    put_batch: int = 16,
+) -> dict[str, Any]:
+    """The full 4-cell × partitions suite, JSON-ready."""
+    rows = []
+    for parts in partitions:
+        for bench in ("put", "put_many", "get_uncached", "get_cached"):
+            rows.append(
+                bench_cell(
+                    BenchSpec(
+                        bench=bench,
+                        partitions=parts,
+                        ops=ops,
+                        value_len=value_len,
+                        put_batch=put_batch,
+                    )
+                )
+            )
+    return {
+        "suite": "amortization",
+        "ops": ops,
+        "value_len": value_len,
+        "put_batch": put_batch,
+        "results": rows,
+    }

@@ -56,6 +56,12 @@ class FabricTiming:
     atomic_extra_ns:
         Additional target-NIC cost of an 8-byte ATOMIC (CAS/FAA) —
         read-modify-write through the PCIe root complex.
+    doorbell_wr_ns:
+        Per-WR initiator processing for the second and later WRs of a
+        *doorbell batch* (``Endpoint.write_many``): the MMIO doorbell
+        ring and WQE prefetch are paid once for the whole chain, so
+        follow-up WRs cost only WQE decode, far below ``nic_tx_ns``.
+        With selective signaling only the final WR generates a CQE.
     min_wire_bytes:
         Every message occupies the wire for at least this many bytes
         (headers: GRH/BTH etc.).
@@ -70,6 +76,7 @@ class FabricTiming:
     two_sided_rx_ns: float = 600.0
     atomic_extra_ns: float = 250.0
     two_sided_rx_ns_per_byte: float = 0.15
+    doorbell_wr_ns: float = 40.0
     min_wire_bytes: int = 64
 
     def __post_init__(self) -> None:
@@ -83,6 +90,7 @@ class FabricTiming:
             "two_sided_rx_ns",
             "atomic_extra_ns",
             "two_sided_rx_ns_per_byte",
+            "doorbell_wr_ns",
         ):
             if getattr(self, name) < 0:
                 raise ConfigError(f"FabricTiming.{name} must be >= 0")
@@ -129,4 +137,5 @@ class FabricTiming:
             two_sided_rx_ns=self.two_sided_rx_ns * factor,
             atomic_extra_ns=self.atomic_extra_ns * factor,
             two_sided_rx_ns_per_byte=self.two_sided_rx_ns_per_byte * factor,
+            doorbell_wr_ns=self.doorbell_wr_ns * factor,
         )

@@ -156,6 +156,10 @@ class RpcServer:
         self._proc: Optional[Process] = None
         self._handler_procs: set[Process] = set()
         self.requests_served = 0
+        #: Requests served keyed by the payload's ``op`` (lets metrics
+        #: confirm batching actually replaced N ``alloc`` calls with one
+        #: ``alloc_batch`` instead of adding traffic).
+        self.served_by_op: dict[str, int] = {}
         #: Armed fault injector (:mod:`repro.faults`), or None; the
         #: dispatch loop checks this one attribute per message.
         self.injector = None
@@ -239,6 +243,10 @@ class RpcServer:
         finally:
             self.node.cpu.release(req)
         self.requests_served += 1
+        if isinstance(msg.payload, dict):
+            op = msg.payload.get("op")
+            if op is not None:
+                self.served_by_op[op] = self.served_by_op.get(op, 0) + 1
         if result is None:
             return  # notification-style message; no response
         response, response_bytes = result

@@ -1,0 +1,5 @@
+"""Small shared utilities (no simulation dependencies)."""
+
+from repro.util.lru import LruMap
+
+__all__ = ["LruMap"]
