@@ -172,6 +172,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON output path (default: BENCH_pr5.json)",
     )
 
+    bk_p = sub.add_parser(
+        "bench-kernel",
+        help="kernel scheduler microbenchmark + fast-path equivalence",
+    )
+    bk_p.add_argument("--drain-events", type=int, default=60_000)
+    bk_p.add_argument("--ping-events", type=int, default=30_000)
+    bk_p.add_argument("--verb-ops", type=int, default=4_000)
+    bk_p.add_argument("--equiv-ops", type=int, default=40)
+    bk_p.add_argument(
+        "--skip-equivalence",
+        action="store_true",
+        help="only run the wall-clock cells",
+    )
+    bk_p.add_argument(
+        "--min-verb-ratio",
+        type=float,
+        default=None,
+        help="exit non-zero if the verb-cell speedup is below this",
+    )
+    bk_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_pr6.json",
+        help="JSON output path (default: BENCH_pr6.json)",
+    )
+
     return parser
 
 
@@ -446,6 +472,57 @@ def _cmd_bench(args: argparse.Namespace) -> tuple[str, Any]:
     return text, payload
 
 
+def _cmd_bench_kernel(args: argparse.Namespace) -> tuple[str, Any, int]:
+    from repro.harness.kernelbench import run_equivalence_check, run_kernel_suite
+
+    payload: dict[str, Any] = run_kernel_suite(
+        drain_events=args.drain_events,
+        ping_events=args.ping_events,
+        verb_ops=args.verb_ops,
+    )
+    table = Table(["cell", "baseline", "wheel/fast", "ratio"])
+    for cell, unit in (("drain", "ev/s"), ("ping", "ev/s")):
+        row = payload[cell]
+        table.add(
+            cell,
+            f"{row['heap']['events_per_sec']:,.0f} {unit}",
+            f"{row['wheel']['events_per_sec']:,.0f} {unit}",
+            f"{row['ratio']:.2f}x",
+        )
+    verb = payload["verb"]
+    table.add(
+        "verb",
+        f"{verb['baseline']['ops_per_sec']:,.0f} op/s "
+        f"({verb['baseline']['events_per_op']:.1f} ev/op)",
+        f"{verb['fast']['ops_per_sec']:,.0f} op/s "
+        f"({verb['fast']['events_per_op']:.1f} ev/op)",
+        f"{verb['ratio']:.2f}x",
+    )
+    lines = [banner("Kernel microbenchmarks"), table.render()]
+    status = 0
+    if not verb["sim_identical"]:
+        lines.append("FAIL: verb cell simulated different nanoseconds")
+        status = 1
+    if not args.skip_equivalence:
+        equiv = run_equivalence_check(ops=args.equiv_ops)
+        payload["equivalence"] = equiv
+        lines.append(
+            "fig1/fig2 fast-path equivalence: "
+            + ("exact (bit-identical)" if equiv["identical"] else "MISMATCH")
+        )
+        if not (equiv["identical"] and equiv["fastpath_engaged"]):
+            status = 1
+    if args.min_verb_ratio is not None and verb["ratio"] < args.min_verb_ratio:
+        lines.append(
+            f"FAIL: verb ratio {verb['ratio']:.2f}x < {args.min_verb_ratio}x"
+        )
+        status = 1
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    lines.append(f"(json written to {args.out})")
+    return "\n".join(lines), payload, status
+
+
 def _jsonable(obj: Any) -> Any:
     """Coerce experiment dicts (int keys, tuples) into JSON-safe data."""
     if isinstance(obj, dict):
@@ -474,6 +551,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _cmd_partitions(args)
     elif args.command == "bench":
         text, payload = _cmd_bench(args)
+    elif args.command == "bench-kernel":
+        text, payload, status = _cmd_bench_kernel(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(text)

@@ -92,10 +92,20 @@ class EFactoryServer(BaseServer):
         """Aggregated background-machinery counters (one dict per
         subsystem, partition-summed)."""
         cs = self.cleaner.stats() if callable(self.cleaner.stats) else self.cleaner.stats
+        fastpath = self.fabric.fastpath_ops
+        total_ops = fastpath + self.fabric.fallback_ops
+        processed = self.env.events_processed
         return {
             "verifier": self.background.stats(),
             "cleaner": {name: getattr(cs, name) for name in type(cs).__slots__},
             "scrubber": self.scrubber.stats(),
+            "sim": {
+                "events_scheduled": self.env.events_scheduled,
+                "events_processed": processed,
+                "fastpath_ops": fastpath,
+                "fallback_ops": self.fabric.fallback_ops,
+                "events_per_op": processed / total_ops if total_ops else 0,
+            },
         }
 
     # -- handlers ----------------------------------------------------------------

@@ -139,6 +139,8 @@ def bench_cell(spec: BenchSpec) -> dict[str, Any]:
         raise ValueError(f"unknown bench {spec.bench!r}")
 
     setup.server.stop()
+    fabric = setup.fabric
+    verb_ops = fabric.fastpath_ops + fabric.fallback_ops
     row = {
         "bench": spec.bench,
         "partitions": spec.partitions,
@@ -148,6 +150,10 @@ def bench_cell(spec: BenchSpec) -> dict[str, Any]:
         "ops_per_sec": spec.ops / elapsed * 1e9 if elapsed > 0 else 0.0,
         "p50_ns": recorder.percentile(50.0, "op"),
         "p99_ns": recorder.percentile(99.0, "op"),
+        "events_scheduled": env.events_scheduled,
+        "events_processed": env.events_processed,
+        "fastpath_ops": fabric.fastpath_ops,
+        "events_per_op": env.events_processed / verb_ops if verb_ops else 0.0,
     }
     if spec.bench.startswith("get"):
         stats = client.read_stats()

@@ -226,6 +226,11 @@ class _Instance:
             n_clients=spec.n_clients,
         ).start()
         self.server = self.setup.server
+        # The injector is armed only after the preload, but the matrix
+        # must be bit-identical to the seed end to end — keep the whole
+        # instance (preload, workload, recovery, replay) on the full
+        # event path.
+        self.setup.fabric.fastpath = False
         self.keys = [make_key(k, spec.key_len) for k in range(spec.key_count)]
         self.issued = [0] * spec.key_count
         self.acked = [0] * spec.key_count  # preload counts as acked v0

@@ -56,7 +56,7 @@ _OFF_MASK = (1 << _OFF_BITS) - 1
 _SIZE_MASK = (1 << _SIZE_BITS) - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Slot:
     """Decoded form of a packed 8-byte slot."""
 

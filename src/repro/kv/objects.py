@@ -130,7 +130,7 @@ def build_header(
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class ObjectImage:
     """A parsed object as fetched from (simulated) memory."""
 

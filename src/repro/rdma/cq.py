@@ -48,7 +48,7 @@ class CompletionQueue:
     def _push(self, wc: WorkCompletion) -> None:
         self.outstanding -= 1
         self.completed += 1
-        self._store.put(wc)
+        self._store.put_nowait(wc)  # CQ store is unbounded: never fails
 
     def poll(self, max_n: int = 16) -> list[WorkCompletion]:
         """Non-blocking harvest of up to ``max_n`` completions."""
@@ -110,6 +110,12 @@ def post_write(
     """Post a one-sided WRITE; its completion lands on ``cq``."""
     wr_id = wr_id if wr_id is not None else next_wr_id()
     cq.outstanding += 1
+    # Uncontended WRs complete analytically via scheduled callbacks
+    # (same nanoseconds, no driver process); anything else — armed
+    # injector, busy engine, QP error, validation failure — runs the
+    # full event path below.
+    if ep.write_async(cq, rkey, offset, data, wr_id):
+        return wr_id
     ep.local.env.process(
         _driver(ep, cq, wr_id, Opcode.WRITE, ep.write(rkey, offset, data)),
         name=f"wr{wr_id}",

@@ -35,7 +35,8 @@ class Node:
     """One machine on the fabric."""
 
     __slots__ = (
-        "env", "name", "device", "alive", "tx", "cpu", "pd", "srq", "ddio"
+        "env", "name", "device", "alive", "tx", "cpu", "pd", "srq", "ddio",
+        "tx_reserved_until",
     )
 
     def __init__(
@@ -58,6 +59,12 @@ class Node:
         self.ddio = ddio
         #: NIC transmit engine: serialization occupancy bounds bandwidth.
         self.tx = Resource(env, capacity=1)
+        #: Analytic fast-path reservation on the TX engine: the engine is
+        #: busy (without a simulated occupancy event) until this time.
+        #: The event path honours it by waiting out the remainder after
+        #: acquiring ``tx``, so mixed fast/event executions keep exact
+        #: FIFO engine semantics.
+        self.tx_reserved_until = 0.0
         #: Request-processing threads (RPC handlers contend here).
         self.cpu = Resource(env, capacity=cores)
         self.pd = ProtectionDomain()
@@ -125,16 +132,42 @@ class Fabric:
         #: meaningful; deterministic given ``jitter_seed``.
         self.jitter_ns = jitter_ns
         self._jitter_rng = np.random.default_rng(jitter_seed)
+        # Pre-drawn *standard* exponential samples, scaled by jitter_ns
+        # at use time. Batch draws consume the generator's bit stream
+        # exactly like repeated single draws, so the jitter sequence is
+        # identical to the seed implementation — including under mid-run
+        # jitter_ns changes (scale applies per call, not per draw).
+        self._jitter_buf: np.ndarray = np.empty(0)
+        self._jitter_idx = 0
         #: Armed fault injector (:mod:`repro.faults`), or None. Verb
         #: hooks check this one attribute, so an unarmed fabric costs
         #: nothing (the :mod:`repro.sim.trace` pattern).
         self.injector = None
+        #: Allow the analytic fast path for uncontended verbs. Cleared by
+        #: crash/chaos harnesses (and ignored while an injector is armed)
+        #: so RNG-order-sensitive experiments stay on the event path.
+        self.fastpath = True
+        #: Verbs completed via the analytic fast path / forced onto the
+        #: full event path while the fast path was enabled.
+        self.fastpath_ops = 0
+        self.fallback_ops = 0
 
     def jitter(self) -> float:
         """One sample of per-work-request latency noise."""
         if self.jitter_ns <= 0:
             return 0.0
-        return float(self._jitter_rng.exponential(self.jitter_ns))
+        i = self._jitter_idx
+        buf = self._jitter_buf
+        if i >= len(buf):
+            buf = self._jitter_buf = self._jitter_rng.standard_exponential(1024)
+            i = 0
+        self._jitter_idx = i + 1
+        return float(buf[i]) * self.jitter_ns
+
+    def fastpath_ok(self) -> bool:
+        """True when verbs may attempt the analytic fast path at all
+        (per-verb engine-idleness checks still apply)."""
+        return self.fastpath and self.injector is None
 
     # -- topology ------------------------------------------------------------
     def create_node(
@@ -162,9 +195,19 @@ class Fabric:
 
     # -- in-flight write tracking ----------------------------------------------
     def register_inflight(
-        self, target: Node, addr: int, data: bytes, apply_at: float
+        self,
+        target: Node,
+        addr: int,
+        data: bytes,
+        apply_at: float,
+        t_start: Optional[float] = None,
     ) -> InflightWrite:
-        fl = InflightWrite(target, addr, data, self.env.now, apply_at)
+        """Track a WRITE payload in flight. ``t_start`` defaults to now;
+        the analytic fast path passes the wire-entry time explicitly
+        because it registers before simulating the TX occupancy."""
+        fl = InflightWrite(
+            target, addr, data, self.env.now if t_start is None else t_start, apply_at
+        )
         self._inflight[fl.uid] = fl
         return fl
 

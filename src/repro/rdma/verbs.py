@@ -29,7 +29,7 @@ class Opcode(enum.Enum):
     FAA = "faa"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A two-sided delivery (SEND or the notification half of
     WRITE_WITH_IMM) as seen by the receiving application.
@@ -58,7 +58,7 @@ class Message:
         return isinstance(self.payload, dict) and self.payload.get("op") == kind
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkCompletion:
     """Completion record returned to the initiator of a verb."""
 

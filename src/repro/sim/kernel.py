@@ -20,12 +20,46 @@ Design notes
 * Virtual time is a ``float`` in **nanoseconds** by convention throughout
   the library (see :mod:`repro.rdma.latency`), although the kernel itself
   is unit-agnostic.
+
+Scheduler structure (see DESIGN.md §11)
+---------------------------------------
+The queue is a bucketed timer wheel rather than a single binary heap:
+
+* The wheel covers a fixed absolute window of ``_WHEEL_BUCKETS`` buckets,
+  each ``_BUCKET_NS`` wide, starting at ``_base`` (a bucket number, not a
+  time). An event at time ``t`` lands in bucket ``int(t / _BUCKET_NS) -
+  _base``; events beyond the window go to a single overflow heap.
+* Each bucket is itself a tiny heap keyed by the full
+  ``(time, priority, sequence)`` tuple, so same-bucket events — including
+  ones inserted *while* the bucket is being drained — pop in exactly the
+  order the single-heap scheduler would have produced. Because the bucket
+  index is monotone in time and the wheel is drained bucket-by-bucket,
+  the global pop order is identical to the seed heap implementation.
+* When the wheel runs dry the window is **rebased** onto the earliest
+  overflow event and every overflow event inside the new window migrates
+  into its bucket. The window never moves while the wheel holds events,
+  so an event is sorted at most twice (overflow, then one bucket).
+
+Two allocation optimizations ride on top:
+
+* The dominant wait pattern — exactly one process yielding an event — is
+  stored in the :attr:`Event._waiter` slot instead of a callbacks-list
+  append, avoiding a bound-method allocation per wait. Dispatch resumes
+  the waiter first, then the callbacks list, which preserves the
+  subscription order the seed kernel produced.
+* :meth:`Environment.timeout` recycles fired ``Timeout`` objects through
+  a small freelist. Only pool-created timeouts whose callbacks list was
+  still empty at dispatch are recycled, so any timeout subscribed to by a
+  condition (``a | b``) or held for post-hoc ``.value`` inspection via
+  callbacks is never reused. Contract: do not re-yield or re-inspect a
+  plain ``env.timeout()`` event after it has been processed — use
+  ``env.event()`` for shared rendezvous points.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Generator, Iterable
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -65,6 +99,16 @@ PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
 
+#: Timer-wheel geometry. 1024 buckets × 128 ns ≈ a 131 µs window — wide
+#: enough that verb segments, server polls, and the 50 µs verifier delay
+#: all land in-wheel; only long experiment horizons hit the overflow heap.
+_WHEEL_BUCKETS = 1024
+_BUCKET_NS = 128.0
+_INV_BUCKET_NS = 1.0 / _BUCKET_NS
+
+#: Upper bound on the recycled-Timeout freelist.
+_FREELIST_CAP = 256
+
 
 class StopSimulation(Exception):
     """Raised internally to stop :meth:`Environment.run` at its ``until``
@@ -95,7 +139,7 @@ class Event:
     once.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "on_abandon")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_waiter", "on_abandon")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -105,6 +149,10 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        #: The single process waiting on this event, when that process is
+        #: the *only* subscriber (the dominant pattern). Resumed before the
+        #: callbacks list, preserving subscription order.
+        self._waiter: Optional["Process"] = None
         #: Invoked when the last waiter detaches before the event
         #: triggered (e.g. the waiting process was interrupted). Wait
         #: queues use this to cancel the abandoned reservation so items
@@ -190,13 +238,14 @@ class Timeout(Event):
     """An event that triggers automatically ``delay`` time units after
     creation."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_pooled")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(env)
         self.delay = delay
+        self._pooled = False
         self._ok = True
         self._value = value
         env.schedule(self, delay=delay)
@@ -209,7 +258,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self.callbacks = [process._resume]
+        self._waiter = process
         self._ok = True
         self._value = None
         env.schedule(self, priority=PRIORITY_URGENT)
@@ -287,11 +336,18 @@ class Process(Event):
         """Detach from the event we were waiting on (after an interrupt)."""
         target = self._target
         if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-            if not target.callbacks and target.on_abandon is not None:
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            if (
+                target._waiter is None
+                and not target.callbacks
+                and target.on_abandon is not None
+            ):
                 target.on_abandon()
         self._target = None
 
@@ -354,13 +410,16 @@ class Process(Event):
             # Already processed: resume immediately (at the current time,
             # urgent priority) with its recorded outcome.
             resume = Event(env)
-            resume.callbacks.append(self._resume)
+            resume._waiter = self
             resume._ok = target._ok
             resume._value = target._value
             if not target._ok:
                 target._defused = True
             env.schedule(resume, priority=PRIORITY_URGENT)
             self._target = resume
+        elif target._waiter is None and not target.callbacks:
+            target._waiter = self
+            self._target = target
         else:
             target.callbacks.append(self._resume)
             self._target = target
@@ -453,22 +512,52 @@ class AnyOf(_Condition):
 class Environment:
     """Owns the event queue and the current simulation time.
 
+    The queue is a bucketed timer wheel with an overflow heap (see the
+    module docstring); :attr:`events_scheduled` / :attr:`events_processed`
+    count queue traffic so consumers can report events-per-op.
+
     Parameters
     ----------
     initial_time:
         Starting value of :attr:`now`.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "trace_hook")
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_active_process",
+        "trace_hook",
+        "_wheel",
+        "_wheel_count",
+        "_overflow",
+        "_base",
+        "_cursor",
+        "_free_timeouts",
+        "events_scheduled",
+        "events_processed",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         #: Optional callable ``(time, event)`` invoked as each event is
         #: processed; used by :mod:`repro.sim.trace`.
         self.trace_hook: Optional[Callable[[float, Event], None]] = None
+        # Timer wheel: _wheel[i] holds events in absolute bucket _base + i,
+        # each bucket a heap of (time, priority, seq, event). _cursor is
+        # the lowest possibly-non-empty bucket index; it only advances.
+        self._wheel: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(_WHEEL_BUCKETS)
+        ]
+        self._wheel_count = 0
+        self._overflow: list[tuple[float, int, int, Event]] = []
+        self._base = int(self._now * _INV_BUCKET_NS)
+        self._cursor = 0
+        self._free_timeouts: list[Timeout] = []
+        #: Total events ever placed on the queue / popped from it.
+        self.events_scheduled = 0
+        self.events_processed = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -486,7 +575,51 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        free = self._free_timeouts
+        if free:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            ev = free.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._defused = False
+            ev.on_abandon = None
+            ev.delay = delay
+            self.schedule(ev, delay=delay)
+            return ev
+        ev = Timeout(self, delay, value)
+        ev._pooled = True
+        return ev
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` that fires at *absolute* time ``when``.
+
+        Used by the analytic fast path: scheduling at the exact float an
+        event-path timeout chain would have produced (rather than
+        ``now + (when - now)``) keeps the two paths bit-identical.
+        """
+        if when < self._now:
+            raise SimulationError(f"timeout_at({when!r}) is in the past")
+        free = self._free_timeouts
+        if free:
+            ev = free.pop()
+            ev.callbacks = []
+            ev._defused = False
+            ev.on_abandon = None
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.env = self
+            ev.callbacks = []
+            ev._defused = False
+            ev._waiter = None
+            ev.on_abandon = None
+            ev._pooled = True
+        ev._ok = True
+        ev._value = value
+        ev.delay = when - self._now
+        self.schedule_at(ev, when)
+        return ev
 
     def process(
         self, generator: Generator[Event, Any, Any], name: str | None = None
@@ -506,31 +639,122 @@ class Environment:
         """Place a triggered event on the queue ``delay`` from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay!r})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        when = self._now + delay
+        self._seq = seq = self._seq + 1
+        self.events_scheduled += 1
+        entry = (when, priority, seq, event)
+        idx = int(when * _INV_BUCKET_NS) - self._base
+        if idx >= _WHEEL_BUCKETS:
+            heappush(self._overflow, entry)
+        else:
+            if idx < 0:
+                # Pre-window time (possible when peek() rebased the window
+                # past `now` before the clock advanced): bucket 0 is the
+                # earliest, and full-tuple ordering inside it keeps the
+                # pop order exact.
+                idx = 0
+            heappush(self._wheel[idx], entry)
+            self._wheel_count += 1
+            if idx < self._cursor:
+                # The cursor may have overshot the clock while scanning
+                # empty buckets (e.g. run(until=T) stopped between
+                # events); every remaining event is later than everything
+                # already processed, so regressing it is exact.
+                self._cursor = idx
+
+    def schedule_at(
+        self, event: Event, when: float, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Place a triggered event on the queue at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule into the past ({when!r})")
+        self._seq = seq = self._seq + 1
+        self.events_scheduled += 1
+        entry = (when, priority, seq, event)
+        idx = int(when * _INV_BUCKET_NS) - self._base
+        if idx >= _WHEEL_BUCKETS:
+            heappush(self._overflow, entry)
+        else:
+            if idx < 0:
+                idx = 0
+            heappush(self._wheel[idx], entry)
+            self._wheel_count += 1
+            if idx < self._cursor:
+                self._cursor = idx
+
+    def _next_bucket(self) -> Optional[list[tuple[float, int, int, Event]]]:
+        """The bucket holding the globally next event (advancing the
+        cursor / rebasing the window as needed), or None when empty."""
+        wheel = self._wheel
+        while True:
+            if self._wheel_count:
+                cursor = self._cursor
+                bucket = wheel[cursor]
+                while not bucket:
+                    cursor += 1
+                    bucket = wheel[cursor]
+                self._cursor = cursor
+                return bucket
+            overflow = self._overflow
+            if not overflow:
+                return None
+            # Rebase the window onto the earliest overflow event and
+            # migrate everything now inside it.
+            base = int(overflow[0][0] * _INV_BUCKET_NS)
+            self._base = base
+            self._cursor = 0
+            horizon = (base + _WHEEL_BUCKETS) * _BUCKET_NS
+            count = 0
+            while overflow and overflow[0][0] < horizon:
+                entry = heappop(overflow)
+                heappush(wheel[int(entry[0] * _INV_BUCKET_NS) - base], entry)
+                count += 1
+            self._wheel_count = count
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        bucket = self._next_bucket()
+        return bucket[0][0] if bucket else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        try:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("step(): empty schedule") from None
-        self._now = when
+        bucket = self._next_bucket()
+        if bucket is None:
+            raise SimulationError("step(): empty schedule")
+        entry = heappop(bucket)
+        self._wheel_count -= 1
+        self._now = entry[0]
+        self._dispatch(entry[3])
+
+    def _dispatch(self, event: Event) -> None:
+        """Run one popped event's waiter/callbacks; recycle pooled timeouts."""
         if self.trace_hook is not None:
-            self.trace_hook(when, event)
+            self.trace_hook(self._now, event)
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None  # marks processed
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter._started = True
+            waiter._target = None
+            if event._ok:
+                waiter._step(event._value, throw=False)
+            else:
+                event._defused = True
+                waiter._step(event._value, throw=True)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif type(event) is Timeout and event._pooled:
+            # Sole-waiter (or waiterless) pooled timeout: nothing can
+            # observe it any more, so recycle the object.
+            free = self._free_timeouts
+            if len(free) < _FREELIST_CAP:
+                free.append(event)
         if not event._ok and not event._defused:
             # Nobody handled the failure: escalate to the driver of run().
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
@@ -557,9 +781,35 @@ class Environment:
                 raise SimulationError(
                     f"until={stop_at!r} is in the past (now={self._now!r})"
                 )
+        wheel = self._wheel
+        dispatch = self._dispatch
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            while True:
+                # Inline _next_bucket()'s common case: wheel non-empty,
+                # cursor at (or just before) the next occupied bucket.
+                if self._wheel_count:
+                    cursor = self._cursor
+                    bucket = wheel[cursor]
+                    if not bucket:
+                        cursor += 1
+                        bucket = wheel[cursor]
+                        while not bucket:
+                            cursor += 1
+                            bucket = wheel[cursor]
+                        self._cursor = cursor
+                else:
+                    bucket = self._next_bucket()
+                    if bucket is None:
+                        break
+                entry = heappop(bucket)
+                when = entry[0]
+                if when > stop_at:
+                    # Put it back; the clock stops at stop_at below.
+                    heappush(bucket, entry)
+                    break
+                self._wheel_count -= 1
+                self._now = when
+                dispatch(entry[3])
         except StopSimulation as stop:
             return stop.value
         if isinstance(until, Event):

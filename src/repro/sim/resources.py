@@ -170,6 +170,19 @@ class Store:
             self._putters.append((ev, item))
         return ev
 
+    def put_nowait(self, item: Any) -> bool:
+        """Non-blocking put: True when stored or handed to a getter,
+        False when the store is full. Unlike :meth:`put` this creates
+        no event, so hot producers that never block (e.g. completion
+        queues) pay nothing for the confirmation they don't read."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
     def get(self) -> Event:
         """Remove and return the oldest item; blocks while empty."""
         ev = Event(self.env)
