@@ -57,7 +57,14 @@ from repro.nvm.device import NVMDevice, NVMTiming
 from repro.rdma.fabric import Fabric, Node
 from repro.rdma.mr import MemoryRegion
 from repro.rdma.qp import Endpoint
-from repro.rdma.rpc import RpcClient, RpcFault, RpcServer, rpc_error, rpc_error_for
+from repro.rdma.rpc import (
+    ERR_FENCED,
+    RpcClient,
+    RpcFault,
+    RpcServer,
+    rpc_error,
+    rpc_error_for,
+)
 from repro.rdma.verbs import Message
 from repro.sim.kernel import Environment, Event
 
@@ -400,6 +407,14 @@ class BaseServer:
     def _handle_alloc(self, msg: Message) -> Generator[Event, Any, tuple[Any, int]]:
         p = msg.payload
         part = self.partition_for_key(p["key"])
+        if part.fenced:
+            return (
+                rpc_error(
+                    f"partition {part.part_id} is write-fenced (migrating)",
+                    code=ERR_FENCED,
+                ),
+                RESPONSE_BYTES,
+            )
         budget = yield from part.acquire_budget()
         try:
             try:
@@ -443,6 +458,14 @@ class BaseServer:
             groups.setdefault(part.part_id, []).append(idx)
         for part_id, indexes in groups.items():
             part = self.partitions[part_id]
+            if part.fenced:
+                err = rpc_error(
+                    f"partition {part.part_id} is write-fenced (migrating)",
+                    code=ERR_FENCED,
+                )
+                for idx in indexes:
+                    results[idx] = err
+                continue
             budget = yield from part.acquire_budget()
             try:
                 first = True
@@ -650,8 +673,14 @@ class BaseClient:
                 yield self.env.timeout(p.reconnect_ns)
                 self.ep.reset()
                 res.note_reconnect()
+                self._reconnected()
             res.note_retry(label, attempt, type(fault).__name__)
             yield self.env.timeout(res.backoff_ns(attempt))
+
+    def _reconnected(self) -> None:
+        """Hook: the QP was just re-established after a fault. Subclasses
+        drop connection-scoped state here (e.g. the location cache —
+        after a failover the cached slots may describe a dead node)."""
 
     # -- notifications (log cleaning, §4.4) --------------------------------------
     @property

@@ -98,6 +98,10 @@ class Partition:
         self.write_pool_id = 0
         #: Set while this partition's log cleaner runs a cycle.
         self.cleaning_active = False
+        #: Write fence: while True, alloc RPCs fail with ERR_FENCED.
+        #: Raised by cluster migration during the drain window so the
+        #: delta pass sees a frozen log; never set on single-node runs.
+        self.fenced = False
         #: Attached by EFactoryServer (None for the other schemes).
         self.verifier: Any = None
         self.cleaner: Any = None

@@ -24,7 +24,7 @@ from typing import Any, Optional, Sequence
 from repro._version import __version__
 from repro.analysis.stats import fmt_mops, fmt_ns
 from repro.analysis.tables import Table, banner
-from repro.faults.plans import shipped_plan_names
+from repro.faults.plans import NODE_KILL_PLANS, shipped_plan_names
 from repro.harness import experiments as exp
 from repro.harness.chaos import ChaosSpec, run_chaos_experiment
 from repro.harness.crash import CrashSpec, run_crash_experiment
@@ -86,7 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p = sub.add_parser(
         "chaos", help="fault-injection run + consistency audit"
     )
-    chaos_p.add_argument("--store", required=True, choices=store_names())
+    chaos_p.add_argument(
+        "--store", default="efactory", choices=store_names(),
+        help="store flavour (cluster plans require efactory)",
+    )
     chaos_p.add_argument(
         "--plan",
         default="qp-flap",
@@ -101,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument(
         "--partitions", type=int, default=1,
         help="shard the server into N partitions",
+    )
+    chaos_p.add_argument(
+        "--nodes", type=int, default=0,
+        help="cluster size (0 = auto: 3 for node-kill plans, else 1)",
+    )
+    chaos_p.add_argument(
+        "--replication", type=int, default=0,
+        help="replication factor (0 = auto: 2 for node-kill plans, else 1)",
     )
     chaos_p.add_argument(
         "--strict",
@@ -159,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="amortization microbenchmarks (doorbell PUT, location cache)",
     )
+    bench_p.add_argument(
+        "--suite",
+        default="amortization",
+        choices=["amortization", "cluster"],
+        help="amortization = the PR-5 hot-path cells; cluster = "
+        "replication-factor scaling, failover time, migration throughput",
+    )
     bench_p.add_argument("--ops", type=int, default=256)
     bench_p.add_argument("--value-size", type=int, default=64)
     bench_p.add_argument("--put-batch", type=int, default=16)
@@ -166,10 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitions", type=int, nargs="+", default=[1, 4]
     )
     bench_p.add_argument(
+        "--nodes", type=int, default=3, help="cluster suite: node count"
+    )
+    bench_p.add_argument(
         "--out",
         metavar="PATH",
-        default="BENCH_pr5.json",
-        help="JSON output path (default: BENCH_pr5.json)",
+        default=None,
+        help="JSON output path (default: BENCH_pr5.json, or "
+        "BENCH_pr7.json for --suite cluster)",
     )
 
     bk_p = sub.add_parser(
@@ -326,24 +348,43 @@ def _cmd_crash(args: argparse.Namespace) -> tuple[str, Any]:
     return banner(title) + "\n" + table.render(), payload
 
 
-def _cmd_chaos(args: argparse.Namespace) -> tuple[str, Any, int]:
-    plans = shipped_plan_names() if args.plan == "all" else [args.plan]
+def _chaos_spec_for(args: argparse.Namespace, plan: str, seed: int) -> ChaosSpec:
+    """Shape one chaos run; node-kill plans auto-deploy a cluster."""
+    clustered = plan in NODE_KILL_PLANS
+    nodes = args.nodes or (3 if clustered else 1)
+    replication = args.replication or (2 if clustered else 1)
     overrides = (
         {"num_partitions": args.partitions} if args.partitions != 1 else {}
     )
+    kwargs: dict[str, Any] = {}
+    if clustered:
+        # Hold promoted replicas to the crash matrix's bar: recover,
+        # digest, recover again, assert the images are byte-identical.
+        kwargs["cluster_overrides"] = {"verify_promotion": True}
+    if plan == "kill-during-migration":
+        # Race a live migration (partition 0 to the last node) against
+        # the kill; a long drain grace widens the vulnerable window.
+        kwargs["migration"] = (0, nodes - 1, 150_000.0)
+        kwargs["cluster_overrides"]["drain_grace_ns"] = 200_000.0
+    return ChaosSpec(
+        store=args.store,
+        plan=plan,
+        seed=seed,
+        n_clients=args.clients,
+        ops_per_client=args.ops,
+        key_count=args.keys,
+        value_len=args.value_size,
+        config_overrides=overrides,
+        nodes=nodes,
+        replication=replication,
+        **kwargs,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> tuple[str, Any, int]:
+    plans = shipped_plan_names() if args.plan == "all" else [args.plan]
     reports = [
-        run_chaos_experiment(
-            ChaosSpec(
-                store=args.store,
-                plan=plan,
-                seed=seed,
-                n_clients=args.clients,
-                ops_per_client=args.ops,
-                key_count=args.keys,
-                value_len=args.value_size,
-                config_overrides=overrides,
-            )
-        )
+        run_chaos_experiment(_chaos_spec_for(args, plan, seed))
         for plan in plans
         for seed in args.seeds
     ]
@@ -365,6 +406,37 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, Any, int]:
     bad = sum(1 for r in reports if not r.ok)
     title = f"chaos audit: {STORES[args.store].label}"
     text = banner(title) + "\n" + table.render()
+    clustered = [r for r in reports if r.cluster]
+    if clustered:
+        # The per-node ``cluster`` section of server.metrics(), one row
+        # per (run, node): shipping volume, failovers, promotions.
+        ctable = Table(
+            ["plan", "seed", "node", "alive", "primary of",
+             "shipped", "failovers", "promotions", "migrations"]
+        )
+        for r in clustered:
+            for nm in r.cluster.get("nodes", []):
+                ctable.add(
+                    r.plan_name,
+                    r.spec.seed,
+                    nm["node"],
+                    "yes" if nm["alive"] else "no",
+                    ",".join(str(p) for p in nm["primary_of"]) or "-",
+                    nm["shipped_records"],
+                    nm["failovers"],
+                    nm["promotions"],
+                    nm["migrations"],
+                )
+        text += "\n" + banner("cluster metrics") + "\n" + ctable.render()
+        idem = [
+            ok for r in clustered
+            for ok in r.cluster.get("promotion_idempotent", [])
+        ]
+        if idem:
+            text += (
+                f"\npromotion recovery idempotent: "
+                f"{sum(idem)}/{len(idem)} byte-identical"
+            )
     if bad:
         text += f"\n{bad} run(s) violated advertised guarantees"
     status = 1 if (bad and args.strict) else 0
@@ -440,34 +512,65 @@ def _cmd_partitions(args: argparse.Namespace) -> tuple[str, Any]:
 
 
 def _cmd_bench(args: argparse.Namespace) -> tuple[str, Any]:
-    from repro.harness.bench import run_bench_suite
+    from repro.harness.bench import run_bench_suite, run_cluster_bench_suite
 
-    payload = run_bench_suite(
-        ops=args.ops,
-        value_len=args.value_size,
-        partitions=tuple(args.partitions),
-        put_batch=args.put_batch,
-    )
-    table = Table(
-        ["bench", "parts", "ops/s", "p50", "p99", "hits", "doorbells"]
-    )
-    for row in payload["results"]:
-        table.add(
-            row["bench"],
-            str(row["partitions"]),
-            fmt_mops(row["ops_per_sec"] / 1e6),
-            fmt_ns(row["p50_ns"]),
-            fmt_ns(row["p99_ns"]),
-            str(row.get("cache_hits", "-")),
-            str(row.get("doorbell_batches", "-")),
+    if args.suite == "cluster":
+        out = args.out or "BENCH_pr7.json"
+        payload = run_cluster_bench_suite(
+            nodes=args.nodes, ops=args.ops, value_len=args.value_size
         )
-    with open(args.out, "w") as fh:
+        table = Table(["bench", "rf", "ops/s", "p50", "shipped", "extra"])
+        for row in payload["results"]:
+            if row["bench"] == "cluster_put":
+                table.add(
+                    row["bench"],
+                    str(row["replication"]),
+                    fmt_mops(row["ops_per_sec"] / 1e6),
+                    fmt_ns(row["p50_ns"]),
+                    str(row["shipped_records"]),
+                    "-",
+                )
+            elif row["bench"] == "cluster_failover":
+                table.add(
+                    row["bench"], str(row["replication"]), "-", "-", "-",
+                    f"failover {fmt_ns(row.get('failover_ns', 0.0))}",
+                )
+            else:
+                table.add(
+                    row["bench"], str(row["replication"]), "-", "-", "-",
+                    f"{row.get('moved', 0)} keys in "
+                    f"{fmt_ns(row.get('duration_ns', 0.0))}",
+                )
+        title = "Cluster benchmarks"
+    else:
+        out = args.out or "BENCH_pr5.json"
+        payload = run_bench_suite(
+            ops=args.ops,
+            value_len=args.value_size,
+            partitions=tuple(args.partitions),
+            put_batch=args.put_batch,
+        )
+        table = Table(
+            ["bench", "parts", "ops/s", "p50", "p99", "hits", "doorbells"]
+        )
+        for row in payload["results"]:
+            table.add(
+                row["bench"],
+                str(row["partitions"]),
+                fmt_mops(row["ops_per_sec"] / 1e6),
+                fmt_ns(row["p50_ns"]),
+                fmt_ns(row["p99_ns"]),
+                str(row.get("cache_hits", "-")),
+                str(row.get("doorbell_batches", "-")),
+            )
+        title = "Amortization microbenchmarks"
+    with open(out, "w") as fh:
         json.dump(payload, fh, indent=2)
     text = (
-        banner("Amortization microbenchmarks")
+        banner(title)
         + "\n"
         + table.render()
-        + f"\n(json written to {args.out})"
+        + f"\n(json written to {out})"
     )
     return text, payload
 

@@ -1,0 +1,31 @@
+"""Replicated multi-server cluster: log shipping, failover, migration.
+
+See :mod:`repro.cluster.node` for the architecture overview. The
+package is entirely additive — a ``nodes=1, replication=1`` deployment
+degenerates to a standalone :class:`~repro.core.server.EFactoryServer`
+with the exact single-node event sequence.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.config import ClusterConfig
+from repro.cluster.failover import FailureDetector, partition_digest, promote_partition
+from repro.cluster.migration import migrate_partition
+from repro.cluster.node import Cluster, ClusterNode, ClusterSetup, build_cluster
+from repro.cluster.replicator import LogShipper
+from repro.cluster.router import ClusterRouter, PartitionRoute
+
+__all__ = [
+    "Cluster",
+    "ClusterClient",
+    "ClusterConfig",
+    "ClusterNode",
+    "ClusterRouter",
+    "ClusterSetup",
+    "FailureDetector",
+    "LogShipper",
+    "PartitionRoute",
+    "build_cluster",
+    "migrate_partition",
+    "partition_digest",
+    "promote_partition",
+]

@@ -1,0 +1,158 @@
+"""Failure detection and backup promotion.
+
+The :class:`FailureDetector` is a tiny monitor host on the same fabric:
+it pings every live node each ``heartbeat_interval_ns`` and counts
+consecutive misses (a miss is a ping that faults — dead NIC — or blows
+its ``heartbeat_timeout_ns`` deadline, the same proc-vs-timer race the
+client resilience layer uses). ``miss_threshold`` misses declare the
+node dead, which fences it, repoints the routing map, and starts one
+promotion process per orphaned partition.
+
+Promotion is deliberately *not* new machinery: the backup's partition
+holds a byte-identical prefix of the dead primary's log (shipped at
+identical offsets), so promoting is exactly crash recovery —
+
+1. :func:`~repro.core.recovery.seed_index_from_pools` rebuilds the
+   backup's empty table segment from the shipped log (scan, newest
+   version per fingerprint), because unlike a crashed *primary* the
+   backup never had index entries to repair;
+2. :func:`~repro.core.recovery.recover_partition` then runs the
+   standard pass — durability-flag / CRC verification with pre_ptr
+   rollback — so exactly the versions a local restart would trust
+   survive the promotion.
+
+With ``verify_promotion`` the pass is run a second time and the
+partition image (pools + table segment) is hashed before and after:
+recovery must be byte-identical-idempotent on a promoted replica, the
+same property the crash matrix pins for single-node recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.cluster.replicator import PING_BYTES
+from repro.core.recovery import recover_partition, seed_index_from_pools
+from repro.errors import RDMAError, StoreError
+from repro.rdma.rpc import RpcClient
+from repro.sim.kernel import Event, Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Cluster
+
+__all__ = ["FailureDetector", "partition_digest", "promote_partition"]
+
+
+class FailureDetector:
+    """Seeded, deterministic heartbeat monitor."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node = cluster.fabric.create_node("cluster-monitor")
+        self._rpcs: dict[int, RpcClient] = {}
+        self.misses: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
+        self.probes = 0
+        self.deaths_declared = 0
+        self._proc: Optional[Process] = None
+
+    def _rpc(self, node_id: int) -> RpcClient:
+        rpc = self._rpcs.get(node_id)
+        if rpc is None:
+            ep = self.cluster.fabric.connect(
+                self.node, self.cluster.nodes[node_id].server.node
+            )
+            rpc = self._rpcs[node_id] = RpcClient(ep)
+        return rpc
+
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._run(), name="failure-detector")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            if self._proc is not self.env.active_process:
+                self._proc.interrupt("stop")
+        self._proc = None
+
+    def _ping(self, node_id: int) -> Generator[Event, Any, bool]:
+        try:
+            yield from self._rpc(node_id).call({"op": "ping"}, PING_BYTES)
+        except (RDMAError, StoreError):
+            return False
+        return True
+
+    def _run(self) -> Generator[Event, Any, None]:
+        cfg = self.cluster.cfg
+        env = self.env
+        try:
+            while True:
+                yield env.timeout(cfg.heartbeat_interval_ns)
+                # Probe sequentially in node order: deterministic event
+                # sequence for a given seed/topology.
+                for node in self.cluster.nodes:
+                    nid = node.node_id
+                    if nid in self.cluster._dead_handled:
+                        continue
+                    self.probes += 1
+                    proc = env.process(
+                        self._ping(nid), name=f"ping:node{nid}"
+                    )
+                    timer = env.timeout(cfg.heartbeat_timeout_ns)
+                    outcome = yield (proc | timer)
+                    ok = bool(proc in outcome and proc.value)
+                    if proc.is_alive:
+                        proc.interrupt("deadline")
+                    if ok:
+                        self.misses[nid] = 0
+                        continue
+                    self.misses[nid] += 1
+                    if self.misses[nid] >= cfg.miss_threshold:
+                        self.deaths_declared += 1
+                        self.cluster.on_node_dead(nid)
+        except Interrupt:
+            return
+
+
+def partition_digest(server, part) -> str:
+    """Hash of one partition's durable image: both pools plus its table
+    segment (the crash matrix's byte-identity idiom, per partition)."""
+    h = hashlib.sha256()
+    for pool in part.pools:
+        h.update(pool.read(0, pool.size))
+    geom = server.config.partition_geometry
+    base = getattr(part.table, "base", 0)
+    h.update(bytes(server.device.read(base, geom.table_bytes)))
+    return h.hexdigest()
+
+
+def promote_partition(
+    cluster: "Cluster", part_id: int
+) -> Generator[Event, Any, None]:
+    """Promote the first surviving backup of an orphaned partition."""
+    env = cluster.env
+    cfg = cluster.cfg
+    route = cluster.router.routes[part_id]
+    if not route.replicas:
+        return
+    node = cluster.nodes[route.replicas[0]]
+    if not node.alive:
+        return
+    # Let straggler in-flight WRITEs aimed at the dead primary resolve
+    # (they tear against the dead node, never against us).
+    yield env.timeout(cfg.failover_grace_ns)
+    server = node.server
+    part = server.partitions[part_id]
+    yield from seed_index_from_pools(server, part)
+    yield from recover_partition(server, part)
+    if cfg.verify_promotion:
+        before = partition_digest(server, part)
+        yield from recover_partition(server, part)
+        after = partition_digest(server, part)
+        cluster.promotion_idempotent.append(before == after)
+    cluster.router.mark_ready(part_id)
+    # Resume shipping to whatever backups the route still lists.
+    node.start_shipper(part_id)
+    cluster.promotions += 1

@@ -117,6 +117,7 @@ class EFactoryClient(BaseClient):
                     yield self.env.timeout(res.policy.reconnect_ns)
                     self.ep.reset()
                     res.note_reconnect()
+                    self._reconnected()
                 value = None
             else:
                 if res is not None:
@@ -166,6 +167,16 @@ class EFactoryClient(BaseClient):
         """Migration is about to move this partition's objects: every
         cached location there is suspect."""
         self._flush_cache_partition(part)
+
+    def _reconnected(self) -> None:
+        """The QP was just re-established after a fault. If the server
+        was failed over meanwhile, every cached (partition, slot) pair
+        describes the *dead* node's layout — and unlike an overwrite or
+        delete, the image-staleness check never runs because the READ
+        itself faults. Drop everything cached."""
+        cfg: EFactoryConfig = self.config  # type: ignore[assignment]
+        if cfg.loc_cache_flush_on_reconnect:
+            self._loc_cache.clear()
 
     def _try_pure_read(
         self, key: bytes, part: int = 0

@@ -50,7 +50,14 @@ from repro.kv.objects import (
 )
 from repro.sim.kernel import Event
 
-__all__ = ["RecoveryReport", "recover_bucketized", "recover_erda", "scan_pool"]
+__all__ = [
+    "RecoveryReport",
+    "recover_bucketized",
+    "recover_erda",
+    "recover_partition",
+    "scan_pool",
+    "seed_index_from_pools",
+]
 
 
 @dataclass
@@ -195,6 +202,75 @@ def _recover_partition(
             report.keys_recovered += 1
 
     return report
+
+
+def recover_partition(
+    server: BaseServer, part: Partition
+) -> Generator[Event, Any, RecoveryReport]:
+    """Scan-and-repair a single partition (timed generator).
+
+    The same pass :func:`recover_bucketized` runs per shard, exposed so
+    cluster failover can promote one orphaned partition on an otherwise
+    live node without replaying its other shards.
+    """
+    report = yield from _recover_partition(server, part)
+    return report
+
+
+def seed_index_from_pools(
+    server: BaseServer, part: Partition
+) -> Generator[Event, Any, int]:
+    """Rebuild a partition's table segment from its pool contents alone.
+
+    A backup replica receives shipped log records but no index updates:
+    its table segment is empty, so the standard repair pass — which
+    starts from whatever working slots survived — would find nothing to
+    roll. This pass scans the pools (re-deriving allocation journals and
+    heads, like recovery pass 1), groups records by key fingerprint, and
+    seeds each entry's working slot with the newest parseable version,
+    ranked by (header timestamp, scan order). :func:`recover_partition`
+    afterwards applies the usual intact-version rules: durability flag
+    or CRC, with pre_ptr rollback — shipped offsets are identical to the
+    primary's, so the chains resolve exactly as they would have there.
+
+    Returns the number of entries seeded.
+    """
+    from repro.kv.hashtable import key_fingerprint
+
+    env = server.env
+    cfg = server.config
+    t = cfg.nvm_timing
+    best: dict[int, tuple[tuple[int, int], ObjectLocation]] = {}
+    seq = 0
+    for pool_id, pool in enumerate(part.pools):
+        allocations = scan_pool(pool)
+        yield env.timeout(t.read_cost(HEADER_SIZE) * max(1, len(allocations) + 1))
+        pool.allocations = allocations
+        if allocations:
+            last = allocations[-1]
+            pool.head = (
+                (last.offset + last.size + pool.align - 1) & ~(pool.align - 1)
+            )
+        else:
+            pool.head = 0
+        for alloc in allocations:
+            hdr = parse_header(pool.read(alloc.offset, HEADER_SIZE))
+            if hdr is None:
+                continue
+            yield env.timeout(t.read_cost(HEADER_SIZE + hdr.klen))
+            key = bytes(pool.read(alloc.offset + HEADER_SIZE, hdr.klen))
+            fp = key_fingerprint(key)
+            rank = (hdr.ts, seq)
+            seq += 1
+            loc = ObjectLocation(pool=pool_id, offset=alloc.offset, size=alloc.size)
+            prev = best.get(fp)
+            if prev is None or rank > prev[0]:
+                best[fp] = (rank, loc)
+    for fp, (_rank, loc) in best.items():
+        yield env.timeout(cfg.index_ns)
+        entry_off = part.table.find_or_create(fp)
+        part.table.set_cur(entry_off, loc.slot)
+    return len(best)
 
 
 def _recovery_step(part: Partition) -> Generator[Event, Any, None]:

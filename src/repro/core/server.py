@@ -67,6 +67,10 @@ class EFactoryServer(BaseServer):
             self.background = VerifierGroup([p.verifier for p in self.partitions])
             self.cleaner = CleanerGroup([p.cleaner for p in self.partitions])
             self.scrubber = ScrubberGroup([p.scrubber for p in self.partitions])
+        #: Back-reference set by :class:`repro.cluster.ClusterNode` when
+        #: this server is a member of a replicated cluster; None on
+        #: standalone servers.
+        self.cluster_node = None
 
     @property
     def cleaning_active(self) -> bool:
@@ -95,7 +99,7 @@ class EFactoryServer(BaseServer):
         fastpath = self.fabric.fastpath_ops
         total_ops = fastpath + self.fabric.fallback_ops
         processed = self.env.events_processed
-        return {
+        out = {
             "verifier": self.background.stats(),
             "cleaner": {name: getattr(cs, name) for name in type(cs).__slots__},
             "scrubber": self.scrubber.stats(),
@@ -107,6 +111,9 @@ class EFactoryServer(BaseServer):
                 "events_per_op": processed / total_ops if total_ops else 0,
             },
         }
+        if self.cluster_node is not None:
+            out["cluster"] = self.cluster_node.metrics()
+        return out
 
     # -- handlers ----------------------------------------------------------------
     def _register_handlers(self) -> None:

@@ -179,6 +179,16 @@ def arm_store(
     """
     injector = FaultInjector(setup.env, plan, rngs, tracer=tracer)
     setup.fabric.injector = injector
+    cluster = getattr(setup, "cluster", None)
+    if cluster is not None:
+        # Every node's RPC loop and NVM device shares the one injector,
+        # and the cluster's kill-tick polls the ``cluster.*`` sites.
+        for server in cluster.servers:
+            server.rpc.injector = injector
+            if server.device is not None:
+                server.device.injector = injector
+        cluster.arm(injector)
+        return injector
     setup.server.rpc.injector = injector
     if setup.server.device is not None:
         setup.server.device.injector = injector
@@ -188,6 +198,14 @@ def arm_store(
 def disarm_store(setup: Any) -> None:
     """Remove an armed injector; every hook reverts to zero cost."""
     setup.fabric.injector = None
+    cluster = getattr(setup, "cluster", None)
+    if cluster is not None:
+        for server in cluster.servers:
+            server.rpc.injector = None
+            if server.device is not None:
+                server.device.injector = None
+        cluster.disarm()
+        return
     setup.server.rpc.injector = None
     if setup.server.device is not None:
         setup.server.device.injector = None

@@ -20,6 +20,7 @@ Sites form a small hierarchy and patterns may end in ``.*``::
     bg.verifier  bg.scrubber
     bg.cleaner.compress  bg.cleaner.merge  bg.cleaner.finish
     recovery.step
+    cluster.node0  cluster.node1  ...  (one site per cluster node)
 
 so ``site="qp.*"`` targets every verb while ``site="qp.read"`` faults
 only one-sided READs.
@@ -108,6 +109,14 @@ FAULT_KINDS: dict[str, FaultKind] = {
             "one aligned 8-byte word of the flushed range fails to reach "
             "the ADR domain; its line stays dirty, so only a crash "
             "before the next writeback exposes the tear",
+        ),
+        FaultKind(
+            "node_kill",
+            "cluster.*",
+            "whole-node failure: the node's NIC goes dark (in-flight "
+            "RDMA torn, later verbs fail target_down), its processes "
+            "stop, and its NVM is preserved but unreachable; the cluster "
+            "failure detector must notice and promote a backup",
         ),
         FaultKind(
             "crash",

@@ -15,7 +15,12 @@ from typing import Callable
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, FaultRule
 
-__all__ = ["SHIPPED_PLANS", "shipped_plan", "shipped_plan_names"]
+__all__ = [
+    "NODE_KILL_PLANS",
+    "SHIPPED_PLANS",
+    "shipped_plan",
+    "shipped_plan_names",
+]
 
 
 def qp_flap(probability: float = 0.01) -> FaultPlan:
@@ -154,6 +159,61 @@ def torn_media(probability: float = 0.02) -> FaultPlan:
     )
 
 
+def node_kill(after_op: int = 3) -> FaultPlan:
+    """Kill the cluster's node 0 (a primary) once the workload is warm.
+
+    The node-kill site counter ticks once per kill-poll visit to each
+    live node, so ``after_op`` is measured in poll rounds, not client
+    ops — small values mean "early in the run".
+    """
+    return FaultPlan(
+        "node-kill",
+        (
+            FaultRule(
+                kind="node_kill",
+                site="cluster.node0",
+                after_op=after_op,
+                max_fires=1,
+            ),
+        ),
+        description="whole-node failure of a primary; failover must promote",
+    )
+
+
+def kill_backup(after_op: int = 3) -> FaultPlan:
+    """Kill a node that is (mostly) a backup: acks must continue at
+    degraded redundancy once the detector shrinks the target set."""
+    return FaultPlan(
+        "kill-backup",
+        (
+            FaultRule(
+                kind="node_kill",
+                site="cluster.node1",
+                after_op=after_op,
+                max_fires=1,
+            ),
+        ),
+        description="whole-node failure of a backup; acks continue degraded",
+    )
+
+
+def kill_during_migration(after_op: int = 25) -> FaultPlan:
+    """Kill the migration source mid-move: the migration must abort (or
+    the failover path must take over) with no acked durable PUT lost."""
+    return FaultPlan(
+        "kill-during-migration",
+        (
+            FaultRule(
+                kind="node_kill",
+                site="cluster.node0",
+                after_op=after_op,
+                max_fires=1,
+            ),
+        ),
+        description="node death racing a live partition migration",
+    )
+
+
 SHIPPED_PLANS: dict[str, Callable[..., FaultPlan]] = {
     "qp-flap": qp_flap,
     "drop-completions": drop_completions,
@@ -163,7 +223,16 @@ SHIPPED_PLANS: dict[str, Callable[..., FaultPlan]] = {
     "jittery-fabric": jittery_fabric,
     "bitrot": bitrot,
     "torn-media": torn_media,
+    "node-kill": node_kill,
+    "kill-backup": kill_backup,
+    "kill-during-migration": kill_during_migration,
 }
+
+#: Plans that need a multi-node cluster (the chaos CLI auto-sizes the
+#: deployment to 3 nodes / replication 2 when one of these is named).
+NODE_KILL_PLANS: frozenset[str] = frozenset(
+    {"node-kill", "kill-backup", "kill-during-migration"}
+)
 
 
 def shipped_plan_names() -> list[str]:

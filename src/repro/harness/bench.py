@@ -29,7 +29,12 @@ from repro.sim.kernel import Environment, Event
 from repro.stores import StoreSetup, build_store
 from repro.workloads.keyspace import make_key, make_value
 
-__all__ = ["BenchSpec", "bench_cell", "run_bench_suite"]
+__all__ = [
+    "BenchSpec",
+    "bench_cell",
+    "run_bench_suite",
+    "run_cluster_bench_suite",
+]
 
 
 @dataclass(frozen=True)
@@ -196,5 +201,170 @@ def run_bench_suite(
         "ops": ops,
         "value_len": value_len,
         "put_batch": put_batch,
+        "results": rows,
+    }
+
+
+# -- the PR-7 cluster suite ---------------------------------------------------
+
+
+def _deploy_cluster(nodes: int, replication: int, ops: int, value_len: int):
+    from repro.cluster import build_cluster
+
+    env = Environment()
+    obj = 64 + 16 + value_len
+    setup = build_cluster(
+        env,
+        nodes=nodes,
+        replication=replication,
+        config_overrides={
+            "pool_size": max(2 << 20, obj * ops * 4),
+            "table_buckets": 2048,
+            "auto_clean": False,
+        },
+        n_clients=1,
+    ).start()
+    return env, setup
+
+
+def _cluster_put_cell(
+    nodes: int, replication: int, ops: int, value_len: int
+) -> dict[str, Any]:
+    """Acked-PUT throughput at one replication factor: every put's
+    latency includes the repl_wait ack gate when replication > 1."""
+    env, setup = _deploy_cluster(nodes, replication, ops, value_len)
+    client = setup.client(0)
+    recorder = LatencyRecorder()
+
+    def body() -> Generator[Event, Any, None]:
+        for i in range(ops):
+            key = make_key(i, 16)
+            t0 = env.now
+            yield from client.put(key, make_value(i, 0, value_len))
+            recorder.record("op", env.now - t0)
+
+    t_start = env.now
+    env.run(env.process(body(), name="bench"))
+    elapsed = env.now - t_start
+    metrics = setup.cluster.metrics()
+    setup.stop()
+    return {
+        "bench": "cluster_put",
+        "nodes": nodes,
+        "replication": replication,
+        "ops": ops,
+        "elapsed_ns": elapsed,
+        "ops_per_sec": ops / elapsed * 1e9 if elapsed > 0 else 0.0,
+        "p50_ns": recorder.percentile(50.0, "op"),
+        "p99_ns": recorder.percentile(99.0, "op"),
+        "shipped_records": metrics["shipped_records"],
+        "repl_lag_bytes": metrics["repl_lag_bytes"],
+    }
+
+
+def _cluster_failover_cell(
+    nodes: int, ops: int, value_len: int
+) -> dict[str, Any]:
+    """Failover time: preload, kill a primary, measure simulated time
+    until a GET routed to that partition succeeds again."""
+    env, setup = _deploy_cluster(nodes, 2, ops, value_len)
+    client = setup.client(0)
+    cluster = setup.cluster
+    keys = [make_key(i, 16) for i in range(ops)]
+    result: dict[str, Any] = {}
+
+    def body() -> Generator[Event, Any, None]:
+        for i, key in enumerate(keys):
+            yield from client.put(key, make_value(i, 0, value_len))
+        # A key owned by node 0 (the victim) measures the outage window.
+        victim_parts = [
+            r.part_id for r in cluster.router.routes if r.replicas[0] == 0
+        ]
+        probe = next(
+            (
+                (i, k)
+                for i, k in enumerate(keys)
+                if client._part_of(k) in victim_parts
+            ),
+            None,
+        )
+        cluster.kill_node(0)
+        t_kill = env.now
+        yield from cluster.await_stable(timeout_ns=50_000_000.0)
+        if probe is not None:
+            i, key = probe
+            got = yield from client.get(key)
+            assert got == make_value(i, 0, value_len)
+        result["failover_ns"] = env.now - t_kill
+
+    env.run(env.process(body(), name="bench"))
+    result.update(
+        {
+            "bench": "cluster_failover",
+            "nodes": nodes,
+            "replication": 2,
+            "preloaded": ops,
+            "failovers": cluster.failovers,
+            "promotions": cluster.promotions,
+        }
+    )
+    setup.stop()
+    return result
+
+
+def _cluster_migration_cell(nodes: int, ops: int, value_len: int) -> dict[str, Any]:
+    """Live-migration throughput: preload, move the fullest partition to
+    another node, report keys/bytes moved per simulated second."""
+    env, setup = _deploy_cluster(nodes, 2, ops, value_len)
+    client = setup.client(0)
+    cluster = setup.cluster
+    result: dict[str, Any] = {}
+
+    def body() -> Generator[Event, Any, None]:
+        counts: dict[int, int] = {}
+        for i in range(ops):
+            key = make_key(i, 16)
+            yield from client.put(key, make_value(i, 0, value_len))
+            part = client._part_of(key)
+            counts[part] = counts.get(part, 0) + 1
+        part = max(counts, key=lambda p: counts[p])
+        src = cluster.router.primary(part)
+        dst = next(n.node_id for n in cluster.nodes if n.node_id != src)
+        stats = yield from cluster.migrate(part, dst)
+        result.update(stats)
+
+    env.run(env.process(body(), name="bench"))
+    dur = result.get("duration_ns", 0.0)
+    result.update(
+        {
+            "bench": "cluster_migration",
+            "nodes": nodes,
+            "replication": 2,
+            "keys_per_sec": result.get("moved", 0) / dur * 1e9 if dur else 0.0,
+            "bytes_per_sec": result.get("bytes", 0) / dur * 1e9 if dur else 0.0,
+        }
+    )
+    setup.stop()
+    return result
+
+
+def run_cluster_bench_suite(
+    *,
+    nodes: int = 3,
+    ops: int = 128,
+    value_len: int = 64,
+) -> dict[str, Any]:
+    """The cluster suite: replication-factor put scaling, failover time,
+    and live-migration throughput (writes ``BENCH_pr7.json``)."""
+    rows = []
+    for rf in range(1, nodes + 1):
+        rows.append(_cluster_put_cell(nodes, rf, ops, value_len))
+    rows.append(_cluster_failover_cell(nodes, ops, value_len))
+    rows.append(_cluster_migration_cell(nodes, ops, value_len))
+    return {
+        "suite": "cluster",
+        "nodes": nodes,
+        "ops": ops,
+        "value_len": value_len,
         "results": rows,
     }

@@ -68,6 +68,14 @@ class ChaosSpec:
     config_overrides: dict = field(default_factory=dict)
     plan_overrides: dict = field(default_factory=dict)
     trace: bool = False
+    #: Cluster shape. ``nodes=1, replication=1`` (the default) runs the
+    #: classic single-server harness with bit-identical event order.
+    nodes: int = 1
+    replication: int = 1
+    cluster_overrides: dict = field(default_factory=dict)
+    #: Optional live migration racing the faulted window:
+    #: ``(part_id, dst_node, at_ns)`` with ``at_ns`` relative to arming.
+    migration: Optional[tuple] = None
 
 
 @dataclass
@@ -95,6 +103,11 @@ class ChaosReport:
     trace_counts: dict[str, int] = field(default_factory=dict)
     #: Online-scrubber counters (empty when the store has no scrubber).
     scrub: dict[str, int] = field(default_factory=dict)
+    #: Cluster metrics (failovers, promotions, shipping; empty when the
+    #: run was single-node).
+    cluster: dict[str, Any] = field(default_factory=dict)
+    #: Stats of the migration raced against the faults, if any.
+    migration: dict[str, Any] = field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -124,12 +137,19 @@ class ChaosReport:
             "degraded_reads": self.degraded_reads,
             "wall_ns": self.wall_ns,
             "scrub": dict(self.scrub),
+            "cluster": dict(self.cluster),
+            "migration": dict(self.migration),
         }
 
 
 def _pool_size_for(spec: ChaosSpec) -> int:
     obj = 64 + spec.key_len + spec.value_len
     total_puts = spec.key_count + spec.n_clients * spec.ops_per_client
+    if spec.nodes > 1:
+        # A cluster allocates nodes x partitions x 2 pools; keep each
+        # small (every key fits many times over — the floor below is
+        # already 4x the worst-case append volume).
+        return max(2 << 20, int(total_puts * obj * 4))
     # retries can allocate more than once per PUT; leave ample headroom
     return max(32 << 20, int(total_puts * obj * 4))
 
@@ -144,6 +164,10 @@ def run_chaos_experiment(
     plan = plan if plan is not None else shipped_plan(spec.plan, **spec.plan_overrides)
     media_plan = any(rule.kind in MEDIA_FAULT_KINDS for rule in plan.rules)
 
+    cluster_mode = spec.nodes > 1 or spec.replication > 1
+    if cluster_mode and spec.store != "efactory":
+        raise StoreError("cluster chaos runs require the efactory store")
+
     overrides: dict[str, Any] = {"pool_size": _pool_size_for(spec)}
     if spec.store.startswith("efactory"):
         overrides["auto_clean"] = False
@@ -152,9 +176,21 @@ def run_chaos_experiment(
             # durability-flag shortcut would serve rot forever.
             overrides["scrub_interval_ns"] = 2_000.0
     overrides.update(spec.config_overrides)
-    setup = build_store(
-        spec.store, env, config_overrides=overrides, n_clients=spec.n_clients
-    ).start()
+    if cluster_mode:
+        from repro.cluster import build_cluster
+
+        setup = build_cluster(
+            env,
+            nodes=spec.nodes,
+            replication=spec.replication,
+            config_overrides=overrides,
+            cluster_overrides=dict(spec.cluster_overrides),
+            n_clients=spec.n_clients,
+        ).start()
+    else:
+        setup = build_store(
+            spec.store, env, config_overrides=overrides, n_clients=spec.n_clients
+        ).start()
     for client in setup.clients:
         client.enable_resilience(
             spec.policy, rngs.stream(f"resilience.{client.name}"), tracer=tracer
@@ -209,13 +245,34 @@ def run_chaos_experiment(
         env.process(client_proc(i), name=f"chaos-client{i}")
         for i in range(spec.n_clients)
     ]
+    migration_stats: dict[str, Any] = {}
+    if spec.migration is not None and cluster_mode:
+        mig_part, mig_dst, mig_at = spec.migration
+
+        def migration_proc() -> Generator[Event, Any, None]:
+            yield env.timeout(mig_at)
+            stats = yield from setup.cluster.migrate(int(mig_part), int(mig_dst))
+            migration_stats.update(stats)
+
+        procs.append(env.process(migration_proc(), name="chaos-migration"))
     env.run(env.all_of(procs))
     wall_ns = env.now - t_armed
 
     # -- disarm, heal, settle -------------------------------------------------
     disarm_store(setup)
     for client in setup.clients:
-        client.ep.reset()  # clear any residual QP error state
+        if hasattr(client, "reset_endpoints"):
+            client.reset_endpoints()  # every per-node QP
+        else:
+            client.ep.reset()  # clear any residual QP error state
+    if cluster_mode:
+        # Let in-flight promotions/migrations resolve before auditing.
+        env.run(
+            env.process(
+                setup.cluster.await_stable(spec.settle_ns or 5_000_000.0),
+                name="chaos-await-stable",
+            )
+        )
     # Under a media plan, also wait for two full scrubber laps so every
     # entry has provably been examined *after* the last rot landed.
     _settle(env, setup, spec.settle_ns, scrub_laps=2 if media_plan else 0)
@@ -235,7 +292,7 @@ def run_chaos_experiment(
         for kid in range(spec.key_count):
             try:
                 value = yield from client.get(keys[kid], size_hint=spec.value_len)
-            except (RpcFault, StoreError) as exc:
+            except (RpcFault, StoreError, RDMAError) as exc:
                 code = getattr(exc, "code", "")
                 problem = f"key {kid}: GET failed after faults cleared ({code or exc})"
                 if isinstance(exc, RpcFault) and code == ERR_NOT_FOUND:
@@ -265,7 +322,12 @@ def run_chaos_experiment(
                 )
 
     env.run(env.process(audit(), name="chaos-audit"))
-    setup.server.stop()
+    cluster_metrics: dict[str, Any] = {}
+    if cluster_mode:
+        cluster_metrics = setup.cluster.metrics()
+        setup.stop()
+    else:
+        setup.server.stop()
 
     resilience: dict[str, int] = {}
     for client in setup.clients:
@@ -289,6 +351,8 @@ def run_chaos_experiment(
         wall_ns=wall_ns,
         trace_counts=tracer.counts() if tracer is not None else {},
         scrub=dict(scrubber.stats()) if scrubber is not None else {},
+        cluster=cluster_metrics,
+        migration=migration_stats,
     )
 
 
@@ -303,15 +367,31 @@ def _settle(
     if settle_ns <= 0:
         return
     deadline = env.now + settle_ns
-    background = getattr(setup.server, "background", None)
-    scrubber = getattr(setup.server, "scrubber", None)
+    # Cluster setups expose every node's server; settle against the live
+    # ones only (a killed node's verifier backlog can never drain).
+    servers = [
+        s
+        for s in (getattr(setup, "servers", None) or [setup.server])
+        if getattr(s.node, "alive", True)
+    ]
+    backgrounds = [
+        b for s in servers if (b := getattr(s, "background", None)) is not None
+    ]
+    scrubbers = [
+        sc
+        for s in servers
+        if (sc := getattr(s, "scrubber", None)) is not None
+        and getattr(sc, "active", False)
+    ]
     want_laps = None
-    if scrub_laps and scrubber is not None and getattr(scrubber, "active", False):
-        want_laps = scrubber.laps + scrub_laps
+    if scrub_laps and scrubbers:
+        want_laps = [sc.laps + scrub_laps for sc in scrubbers]
     while env.now < deadline:
         env.run(until=min(deadline, env.now + 50_000.0))
-        if background is not None and background.backlog:
+        if any(b.backlog for b in backgrounds):
             continue
-        if want_laps is not None and scrubber.laps < want_laps:
+        if want_laps is not None and any(
+            sc.laps < want for sc, want in zip(scrubbers, want_laps)
+        ):
             continue
         break

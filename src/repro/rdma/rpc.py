@@ -30,6 +30,8 @@ __all__ = [
     "ERR_UNKNOWN_ALLOC",
     "ERR_STORE",
     "ERR_UNKNOWN",
+    "ERR_REPL_LAG",
+    "ERR_FENCED",
     "RETRYABLE_CODES",
 ]
 
@@ -42,10 +44,17 @@ ERR_NO_INTACT = "no_intact_version"
 ERR_UNKNOWN_ALLOC = "unknown_alloc"
 ERR_STORE = "store_error"
 ERR_UNKNOWN = "unknown"
+#: Replication watermark has not covered the requested record yet: the
+#: log shipper is behind, the same wait will succeed once it catches up.
+ERR_REPL_LAG = "replication_lag"
+#: The partition is write-fenced (draining for migration). NOT
+#: retryable on the same node: the client must refresh its route and
+#: resend to the new owner.
+ERR_FENCED = "write_fenced"
 
 #: Codes that describe *transient* server-side conditions: the same
 #: request may succeed after cleaning/verification catches up.
-RETRYABLE_CODES = frozenset({ERR_POOL_EXHAUSTED, ERR_NO_INTACT})
+RETRYABLE_CODES = frozenset({ERR_POOL_EXHAUSTED, ERR_NO_INTACT, ERR_REPL_LAG})
 
 
 class RpcFault(StoreError):
@@ -122,6 +131,18 @@ class RpcClient:
 #: Handler signature: (message) -> generator returning
 #: (response_payload, response_bytes).
 Handler = Callable[[Message], Generator[Event, Any, tuple[Any, int]]]
+
+
+def _is_request(msg: Message) -> bool:
+    # Every request payload is a dict carrying "op"; some (cleaning_ack)
+    # also set in_reply_to to correlate with the notification they
+    # answer, so the reply-marker alone cannot distinguish them from RPC
+    # responses. Responses are handler results and never carry "op".
+    # WRITE_WITH_IMM notifications (no "op", no in_reply_to) must still
+    # reach the default handler.
+    return msg.in_reply_to is None or (
+        isinstance(msg.payload, dict) and "op" in msg.payload
+    )
 
 
 class RpcServer:
@@ -202,7 +223,13 @@ class RpcServer:
     def _loop(self) -> Generator[Event, Any, None]:
         try:
             while True:
-                msg: Message = yield self.node.srq.get()
+                # Requests only: a server node may also host RpcClients
+                # (cluster log shipping / inter-node RPC), whose
+                # *responses* arrive on the same SRQ and must be left
+                # for their recv_response getters. Single-node setups
+                # never deliver responses to a server, so the predicate
+                # matches every message there — behaviour unchanged.
+                msg: Message = yield self.node.srq.get(_is_request)
                 if self.injector is not None:
                     act = self.injector.fire("rpc.dispatch")
                     if act is not None and act.kind == "rpc_stall":

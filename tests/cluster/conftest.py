@@ -1,0 +1,58 @@
+"""Shared helpers for the cluster test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSetup, build_cluster
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+#: Small-footprint geometry: 4 partitions x 2 pools x 3 nodes stays
+#: under a few MB and every test key fits many times over.
+SMALL = {
+    "pool_size": 1 << 20,
+    "table_buckets": 2048,
+    "auto_clean": False,
+}
+
+
+def small_cluster(
+    env: Environment,
+    nodes: int = 3,
+    replication: int = 2,
+    n_clients: int = 1,
+    cluster_overrides: dict | None = None,
+    **overrides,
+) -> ClusterSetup:
+    cfg = dict(SMALL)
+    cfg.update(overrides)
+    return build_cluster(
+        env,
+        nodes=nodes,
+        replication=replication,
+        config_overrides=cfg,
+        cluster_overrides=cluster_overrides,
+        n_clients=n_clients,
+    ).start()
+
+
+def run1(env: Environment, gen):
+    """Run a single generator to completion, return its value."""
+    return env.run(env.process(gen))
+
+
+def wait_detected(env, cluster, node_id, timeout_ns: float = 20_000_000.0):
+    """Wait until the failure detector has declared ``node_id`` dead and
+    any resulting promotions have settled."""
+    deadline = env.now + timeout_ns
+    while node_id not in cluster._dead_handled and env.now < deadline:
+        yield env.timeout(50_000.0)
+    assert node_id in cluster._dead_handled, "failure never detected"
+    ok = yield from cluster.await_stable(timeout_ns=max(deadline - env.now, 1_000_000.0))
+    assert ok, "promotions did not settle"

@@ -1,0 +1,106 @@
+"""Log shipping and the replication watermark ack gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import ClusterRouter
+from repro.errors import ConfigError
+from repro.kv.hashtable import key_fingerprint, partition_of_fp
+
+from tests.cluster.conftest import run1, small_cluster
+
+
+def _primary_backup(setup, part):
+    router = setup.cluster.router
+    return router.primary(part), router.backups(part)[0]
+
+
+def test_put_get_roundtrip_under_replication(env):
+    setup = small_cluster(env, nodes=3, replication=2)
+    client = setup.client(0)
+
+    def body():
+        for i in range(16):
+            yield from client.put(b"key%d" % i, b"v%d" % i * 8)
+        out = []
+        for i in range(16):
+            out.append((yield from client.get(b"key%d" % i)))
+        return out
+
+    values = run1(env, body())
+    assert values == [b"v%d" % i * 8 for i in range(16)]
+    setup.stop()
+
+
+def test_acked_put_is_covered_on_backup(env):
+    """After an acked PUT the shipped watermark covers the record and
+    the backup's pool bytes are identical to the primary's prefix."""
+    setup = small_cluster(env, nodes=3, replication=2)
+    client = setup.client(0)
+    cluster = setup.cluster
+    nparts = cluster.store_config.num_partitions
+    keys = [b"repl-%02d" % i for i in range(12)]
+
+    run1(env, client.put_many([(k, k * 6) for k in keys]))
+
+    for key in keys:
+        part = partition_of_fp(key_fingerprint(key), nparts)
+        pid, bid = _primary_backup(setup, part)
+        shipper = cluster.nodes[pid].shippers[part]
+        ppart = cluster.nodes[pid].server.partitions[part]
+        bpart = cluster.nodes[bid].server.partitions[part]
+        pool = ppart.pools[shipper.pool_id]
+        # Every record the primary acked is inside the watermark...
+        assert shipper.covered(shipper.pool_id, shipper.shipped_end)
+        # ...and the shipped prefix is byte-identical on the backup
+        # (identical offsets: that is what makes promotion plain
+        # recovery).
+        end = shipper.shipped_end
+        assert bytes(pool.read(0, end)) == bytes(
+            bpart.pools[shipper.pool_id].read(0, end)
+        )
+    setup.stop()
+
+
+def test_backup_index_stays_empty_until_promotion(env):
+    """Backups apply raw log bytes only — their table segments must not
+    gain entries from shipping (promotion seeds them explicitly)."""
+    setup = small_cluster(env, nodes=2, replication=2)
+    client = setup.client(0)
+    run1(env, client.put_many([(b"idx-%d" % i, b"x" * 32) for i in range(8)]))
+    cluster = setup.cluster
+    for part_id in range(cluster.store_config.num_partitions):
+        bid = cluster.router.backups(part_id)[0]
+        bpart = cluster.nodes[bid].server.partitions[part_id]
+        assert list(bpart.table.iter_entries()) == []
+    setup.stop()
+
+
+def test_replication_factor_one_has_no_shippers(env):
+    setup = small_cluster(env, nodes=3, replication=1)
+    client = setup.client(0)
+    run1(env, client.put_many([(b"solo-%d" % i, b"y" * 16) for i in range(6)]))
+    assert all(not n.shippers for n in setup.cluster.nodes)
+    assert setup.cluster.metrics()["shipped_records"] == 0
+    setup.stop()
+
+
+def test_router_round_robin_and_epoch():
+    router = ClusterRouter(3, 4, 2)
+    assert router.routes[0].replicas == [0, 1]
+    assert router.routes[1].replicas == [1, 2]
+    assert router.routes[2].replicas == [2, 0]
+    assert router.routes[3].replicas == [0, 1]
+    e0 = router.epoch
+    orphans = router.mark_failed(0)
+    assert sorted(orphans) == [0, 3]
+    assert router.epoch > e0
+    assert router.primary(0) == 1  # surviving backup now leads
+    with pytest.raises(ConfigError):
+        ClusterRouter(2, 4, 3)  # rf > nodes
+
+
+def test_replication_requires_multiple_nodes(env):
+    with pytest.raises(ConfigError):
+        small_cluster(env, nodes=1, replication=2)
