@@ -1,0 +1,18 @@
+"""PR-8 acceptance cell: the integrity tier's PUT-throughput overhead.
+
+The parity delta-XOR, ledger CRC, and coalesced region flushes all ride
+the *background* verifier; the acked-PUT path is untouched. The bar is
+<= 15% throughput loss with parity + the integrity tree armed.
+"""
+
+from repro.harness.bench import run_parity_bench_suite
+
+
+def test_parity_put_overhead_within_budget():
+    out = run_parity_bench_suite(ops=192, value_len=64, partitions=(1,))
+    cells = {c["bench"]: c for c in out["results"]}
+    off, on = cells["put_parity_off"], cells["put_parity_on"]
+    assert on["overhead_frac"] <= 0.15, on
+    assert on["ops_per_sec"] >= 0.85 * off["ops_per_sec"]
+    # the "on" cell really did the extra background integrity work
+    assert on["events_processed"] > off["events_processed"]

@@ -31,6 +31,8 @@ from typing import Any, Optional
 from repro.baselines.partition import ObjectLocation, Partition
 from repro.crc.cost import CrcCostModel
 from repro.crc.crc32 import crc32_fast
+from repro.integrity import PartitionIntegrity, integrity_region_bytes
+from repro.mem.buffer import CACHELINE
 from repro.errors import (
     ConfigError,
     KeyNotFoundError,
@@ -158,6 +160,14 @@ class StoreConfig:
     # online media scrubbing (0 = disabled; see repro.core.scrub)
     scrub_interval_ns: float = 0.0
 
+    # self-healing integrity tier (see repro.integrity)
+    #: XOR-parity stripe size in KiB over each log pool; 0 disables the
+    #: parity/ledger tier entirely (bit-identical legacy layout).
+    parity_stripe_kb: int = 0
+    #: Maintain a Merkle-over-ledger root with each verifier batch and
+    #: verify cache-warm one-READ GETs against the checksum ledger.
+    integrity_tree: bool = False
+
     # log cleaning
     reserve_fraction: float = 0.1
 
@@ -178,6 +188,10 @@ class StoreConfig:
             raise ConfigError("scrub_interval_ns must be >= 0")
         if self.bg_batch < 1:
             raise ConfigError("bg_batch must be >= 1")
+        if self.parity_stripe_kb < 0:
+            raise ConfigError("parity_stripe_kb must be >= 0")
+        if self.integrity_tree and self.parity_stripe_kb == 0:
+            raise ConfigError("integrity_tree requires parity_stripe_kb > 0")
         if self.put_batch < 1:
             raise ConfigError("put_batch must be >= 1")
         if self.put_window < 1:
@@ -262,6 +276,16 @@ class BaseServer:
         device_size = _align(table_bytes, 4096) + n_parts * n_pools * _align(
             cfg.pool_size, 4096
         )
+        if cfg.parity_stripe_kb > 0:
+            # Parity/ledger/root regions live after every pool, so pool
+            # and table addresses are unchanged when the tier is off.
+            device_size += n_parts * _align(
+                n_pools
+                * integrity_region_bytes(
+                    cfg.pool_size, cfg.parity_stripe_kb * 1024, CACHELINE
+                ),
+                4096,
+            )
         self.device = NVMDevice(env, device_size, timing=cfg.nvm_timing, name=f"{name}.nvm")
         self.node: Node = fabric.create_node(
             name, device=self.device, cores=cfg.server_cores * n_parts, ddio=cfg.ddio
@@ -309,6 +333,17 @@ class BaseServer:
                     cpu_budget=budget,
                 )
             )
+        if cfg.parity_stripe_kb > 0:
+            for part in self.partitions:
+                part.integrity = PartitionIntegrity(
+                    self.device,
+                    env,
+                    cfg,
+                    part.pools,
+                    base,
+                    tree=cfg.integrity_tree,
+                )
+                base = _align(part.integrity.region_end, 4096)
 
         self.rpc = RpcServer(
             env,
@@ -959,6 +994,17 @@ class BaseClient:
             self._pool_rkey(part, slot.pool), slot.offset, slot.size
         )
         return parse_object(raw)
+
+    def read_object_with_raw(
+        self, slot: Slot, part: int = 0
+    ) -> Generator[Event, Any, "tuple[ObjectImage, bytes]"]:
+        """Like :meth:`read_object_at` but also returns the wire bytes,
+        for callers that verify the image end-to-end (integrity tree)."""
+        self._note_part(part)
+        raw = yield from self.ep.read(
+            self._pool_rkey(part, slot.pool), slot.offset, slot.size
+        )
+        return parse_object(raw), bytes(raw)
 
     def read_object_loc(
         self, pool: int, offset: int, size: int, part: int = 0

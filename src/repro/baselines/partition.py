@@ -106,6 +106,9 @@ class Partition:
         self.verifier: Any = None
         self.cleaner: Any = None
         self.scrubber: Any = None
+        #: Parity/checksum-ledger tier; attached by BaseServer when
+        #: ``parity_stripe_kb > 0``, else None (legacy paths verbatim).
+        self.integrity: Any = None
         #: Per-partition dispatch budget (one core per partition).  None
         #: when the server is unpartitioned: acquire_budget then yields
         #: nothing, keeping the monolith's event sequence untouched.
@@ -185,12 +188,24 @@ class Partition:
         # 8-byte store into the previous version's header.
         if prev is not None:
             nxt_field = OBJECT_HEADER.offset_of("nxt_ptr")
+            prev_pool = self.pools[prev.pool]
+            old_nxt = (
+                bytes(prev_pool.read(prev.offset + nxt_field, 8))
+                if self.integrity is not None
+                else None
+            )
             self.device.write_atomic64(
-                self.pools[prev.pool].abs_addr(prev.offset) + nxt_field,
+                prev_pool.abs_addr(prev.offset) + nxt_field,
                 OBJECT_HEADER.pack_field(
                     "nxt_ptr", pack_ptr(pool.pool_id, offset)
                 ),
             )
+            if old_nxt is not None:
+                # The previous head may already be covered by the parity
+                # tier; fold the link rewrite into parity + ledger.
+                self.integrity.note_mutation(
+                    prev.pool, prev.offset, nxt_field, old_nxt
+                )
 
         # Ordering matters for recoverability (§4.3.1: "after all the
         # metadata has been updated and persisted"): the header must be
@@ -250,7 +265,12 @@ class Partition:
     def set_object_flags(self, loc: ObjectLocation, flags: int) -> None:
         """Instant single-byte flag store (offset 2 in the header)."""
         pool = self.pools[loc.pool]
+        if self.integrity is None:
+            pool.write(loc.offset + 2, bytes([flags]))
+            return
+        old = bytes(pool.read(loc.offset + 2, 1))
         pool.write(loc.offset + 2, bytes([flags]))
+        self.integrity.note_mutation(loc.pool, loc.offset, 2, old)
 
     def mark_durable(self, loc: ObjectLocation, img: ObjectImage) -> None:
         self.set_object_flags(loc, img.flags | FLAG_DURABLE)

@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="replication factor (0 = auto: 2 for node-kill plans, else 1)",
     )
     chaos_p.add_argument(
+        "--parity",
+        action="store_true",
+        help="arm the self-healing integrity tier (per-stripe parity, "
+        "checksum ledger, integrity tree) with shipped defaults",
+    )
+    chaos_p.add_argument(
         "--strict",
         action="store_true",
         help="exit non-zero if any advertised guarantee was violated",
@@ -173,9 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--suite",
         default="amortization",
-        choices=["amortization", "cluster"],
+        choices=["amortization", "cluster", "parity"],
         help="amortization = the PR-5 hot-path cells; cluster = "
-        "replication-factor scaling, failover time, migration throughput",
+        "replication-factor scaling, failover time, migration throughput; "
+        "parity = PUT throughput with the integrity tier off vs. on",
     )
     bench_p.add_argument("--ops", type=int, default=256)
     bench_p.add_argument("--value-size", type=int, default=64)
@@ -190,8 +197,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         default=None,
-        help="JSON output path (default: BENCH_pr5.json, or "
-        "BENCH_pr7.json for --suite cluster)",
+        help="JSON output path (default: BENCH_pr5.json, BENCH_pr7.json "
+        "for --suite cluster, BENCH_pr8.json for --suite parity)",
     )
 
     bk_p = sub.add_parser(
@@ -377,6 +384,7 @@ def _chaos_spec_for(args: argparse.Namespace, plan: str, seed: int) -> ChaosSpec
         config_overrides=overrides,
         nodes=nodes,
         replication=replication,
+        parity=bool(getattr(args, "parity", False)),
         **kwargs,
     )
 
@@ -437,6 +445,28 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, Any, int]:
                 f"\npromotion recovery idempotent: "
                 f"{sum(idem)}/{len(idem)} byte-identical"
             )
+    repaired = [r for r in reports if r.repair]
+    if repaired:
+        # Repair-outcome accounting under media faults: how each
+        # detected corruption was resolved, by escalation stage.
+        rtable = Table(
+            ["plan", "seed", "injected", "detected", "reconstructed",
+             "replica", "rolled back", "cleared", "tree rejects"]
+        )
+        for r in repaired:
+            rep = r.repair
+            rtable.add(
+                r.plan_name,
+                r.spec.seed,
+                rep["media_faults"],
+                rep["detected"],
+                rep["reconstructed"],
+                rep["replica_fetched"],
+                rep["rolled_back"],
+                rep["cleared"],
+                rep["tree_rejects"],
+            )
+        text += "\n" + banner("repair outcomes") + "\n" + rtable.render()
     if bad:
         text += f"\n{bad} run(s) violated advertised guarantees"
     status = 1 if (bad and args.strict) else 0
@@ -512,9 +542,32 @@ def _cmd_partitions(args: argparse.Namespace) -> tuple[str, Any]:
 
 
 def _cmd_bench(args: argparse.Namespace) -> tuple[str, Any]:
-    from repro.harness.bench import run_bench_suite, run_cluster_bench_suite
+    from repro.harness.bench import (
+        run_bench_suite,
+        run_cluster_bench_suite,
+        run_parity_bench_suite,
+    )
 
-    if args.suite == "cluster":
+    if args.suite == "parity":
+        out = args.out or "BENCH_pr8.json"
+        payload = run_parity_bench_suite(
+            ops=args.ops,
+            value_len=args.value_size,
+            partitions=tuple(args.partitions),
+        )
+        table = Table(["bench", "parts", "ops/s", "p50", "p99", "overhead"])
+        for row in payload["results"]:
+            frac = row.get("overhead_frac")
+            table.add(
+                row["bench"],
+                str(row["partitions"]),
+                fmt_mops(row["ops_per_sec"] / 1e6),
+                fmt_ns(row["p50_ns"]),
+                fmt_ns(row["p99_ns"]),
+                f"{frac * 100.0:+.1f}%" if frac is not None else "-",
+            )
+        title = "Parity-overhead microbenchmarks"
+    elif args.suite == "cluster":
         out = args.out or "BENCH_pr7.json"
         payload = run_cluster_bench_suite(
             nodes=args.nodes, ops=args.ops, value_len=args.value_size

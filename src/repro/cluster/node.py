@@ -36,6 +36,7 @@ from repro.rdma.fabric import Fabric
 from repro.rdma.latency import FabricTiming
 from repro.rdma.qp import Endpoint
 from repro.rdma.rpc import (
+    ERR_NOT_FOUND,
     ERR_POOL_EXHAUSTED,
     ERR_REPL_LAG,
     RpcClient,
@@ -75,6 +76,7 @@ class ClusterNode:
         rpc.register("repl_wait", self._handle_repl_wait)
         rpc.register("mig_alloc", self._handle_mig_alloc)
         rpc.register("mig_commit", self._handle_mig_commit)
+        rpc.register("repair_fetch", self._handle_repair_fetch)
 
     # -- inter-node transport ----------------------------------------------
     def link(self, other_id: int) -> Endpoint:
@@ -137,6 +139,15 @@ class ClusterNode:
         for off, size in p["ranges"]:
             yield from self.server.device.persist(pool.abs_addr(off), size)
             total += size
+        if part.integrity is not None:
+            # Validate-then-cover: a record the shipping persist itself
+            # corrupted stays uncovered here; this backup's scrubber
+            # re-fetches it from the primary on its next lap.
+            for off, size in p["ranges"]:
+                part.integrity.cover_from_media(
+                    ObjectLocation(pool=p["pool"], offset=off, size=size)
+                )
+            yield from part.integrity.flush()
         self.replica_state[p["part"]] = (p["pool"], p["gen"], p["end"])
         key = (p["part"], p["pool"])
         self.replica_extent[key] = max(self.replica_extent.get(key, 0), p["end"])
@@ -168,6 +179,8 @@ class ClusterNode:
             pool.write(0, bytes(extent))
             dev.flush(pool.abs_addr(0), extent)
             pool.reset()
+            if part.integrity is not None:
+                part.integrity.reset_pool(pid)
             total += extent
         self.replica_state.pop(p["part"], None)
         if total:
@@ -247,7 +260,33 @@ class ClusterNode:
             part.table.set_cur(entry_off, loc.slot)
             yield from part.persist_entry_timed(entry_off)
             done += 1
+            if part.integrity is not None:
+                part.integrity.cover_from_media(loc)
+        if done and part.integrity is not None:
+            yield from part.integrity.flush()
         return {"ok": done}, RESPONSE_BYTES
+
+    def _handle_repair_fetch(
+        self, msg: Message
+    ) -> Generator[Event, Any, tuple[Any, int]]:
+        """Serve raw pool bytes to a peer's scrubber (replica-assisted
+        repair). Shipping keeps replicas at identical pool offsets, so
+        the requested (pool, offset, size) names the same record here;
+        the *requester* validates the bytes (parse, fingerprint, value
+        CRC) before installing them — this side just reads the media."""
+        p = msg.payload
+        part = self.server.partitions[p["part"]]
+        pool_id, off, size = p["pool"], p["off"], p["size"]
+        if pool_id >= len(part.pools):
+            return rpc_error("repair_fetch: no such pool", ERR_NOT_FOUND), RESPONSE_BYTES
+        pool = part.pools[pool_id]
+        if off < 0 or size <= 0 or off + size > pool.size:
+            return (
+                rpc_error("repair_fetch: range outside pool", ERR_NOT_FOUND),
+                RESPONSE_BYTES,
+            )
+        yield self.env.timeout(self.server.config.nvm_timing.read_cost(size))
+        return {"data": bytes(pool.read(off, size))}, RESPONSE_BYTES + size
 
     # -- metrics -------------------------------------------------------------
     def metrics(self) -> dict[str, Any]:
@@ -265,6 +304,7 @@ class ClusterNode:
             ),
             "shipped_bytes": sum(s.shipped_bytes for s in self.shippers.values()),
             "repl_lag_bytes": sum(s.lag_bytes for s in self.shippers.values()),
+            "scrub": self.server.scrubber.stats(),
             "failovers": c.failovers,
             "promotions": c.promotions,
             "migrations": c.migrations,

@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "LogShipper",
     "PING_BYTES",
+    "REPAIR_FETCH_BYTES",
     "REPL_COMMIT_OVERHEAD",
     "REPL_RANGE_BYTES",
     "REPL_RESET_BYTES",
@@ -64,6 +65,9 @@ REPL_COMMIT_OVERHEAD = 32
 REPL_RANGE_BYTES = 12
 REPL_RESET_BYTES = 24
 REPL_WAIT_BYTES = 32
+#: ``repair_fetch`` request (op + part/pool/offset/size); the response
+#: pays its own size (header + the fetched record bytes).
+REPAIR_FETCH_BYTES = 28
 
 
 class LogShipper:
@@ -117,6 +121,17 @@ class LogShipper:
         if pool == self.pool_id:
             return self.shipped_end >= end and not self._need_reset
         return self.caught_up and not self._need_reset
+
+    def is_shipped(self, pool: int, end: int) -> bool:
+        """Are pool bytes ``[0, end)`` part of the shipped prefix every
+        live backup holds *at identical offsets*? Gates replica-assisted
+        repair: only then does ``repair_fetch(pool, off, size)`` name
+        byte-for-byte the same record on a backup."""
+        return (
+            pool == self.pool_id
+            and self.shipped_end >= end
+            and not self._need_reset
+        )
 
     @property
     def lag_bytes(self) -> int:

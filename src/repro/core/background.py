@@ -177,6 +177,7 @@ class BackgroundVerifier:
         part = self.part
         cfg = self.server.config
         ok: list[tuple[ObjectLocation, Any]] = []
+        raws: dict[ObjectLocation, bytes] = {}
         for loc in batch:
             yield self.env.timeout(cfg.peek_ns)
             img = part.read_object(loc)
@@ -189,6 +190,14 @@ class BackgroundVerifier:
             yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
             self.verified += 1
             if part.object_value_ok(img):
+                if part.integrity is not None:
+                    # Snapshot the verified pre-persist bytes: if the
+                    # settling persist itself corrupts the media, these
+                    # are what parity must cover so the scrubber can
+                    # reconstruct the good image.
+                    raws[loc] = bytes(
+                        part.pools[loc.pool].read(loc.offset, loc.size)
+                    )
                 ok.append((loc, img))
             else:
                 yield from self._retry_or_invalidate(loc, img)
@@ -226,6 +235,12 @@ class BackgroundVerifier:
                 for loc, img in run:
                     part.mark_durable(loc, img)
                     self.persisted += 1
+        if part.integrity is not None:
+            # Fold the freshly settled objects into parity + ledger and
+            # flush the integrity metadata with this same batch.
+            yield from part.integrity.settle_batch(
+                [(loc, raws.get(loc)) for loc, _img in ok]
+            )
 
     def _next_due(self) -> ObjectLocation | None:
         if self.queue:
@@ -254,9 +269,16 @@ class BackgroundVerifier:
         yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
         self.verified += 1
         if part.object_value_ok(img):
+            raw = (
+                bytes(part.pools[loc.pool].read(loc.offset, loc.size))
+                if part.integrity is not None
+                else None
+            )
             yield from part.persist_object(loc)
             part.mark_durable(loc, img)
             self.persisted += 1
+            if part.integrity is not None:
+                yield from part.integrity.settle_batch([(loc, raw)])
             return
         yield from self._retry_or_invalidate(loc, img)
 

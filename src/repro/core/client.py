@@ -60,6 +60,10 @@ class EFactoryClient(BaseClient):
         self._loc_cache: LruMap = LruMap(cfg.loc_cache_size)
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Integrity-tree mode: one-READ images rejected by the checksum
+        #: ledger (misdirected / replayed / rotten bytes that still
+        #: parsed as current) — each falls back to the RPC path.
+        self.tree_rejects = 0
         #: adaptive-read extension: key -> time until which the pure
         #: attempt is skipped (set after a fallback on that key).
         #: Bounded: LRU-evicted past ``adaptive_skip_cap`` entries, and
@@ -185,12 +189,30 @@ class EFactoryClient(BaseClient):
         single READ when the location cache still has the key."""
         cached = self._loc_cache.get(key)
         if cached is not None and cached[0] == part:
-            img = yield from self.read_object_at(cached[1], part)
+            cfg: EFactoryConfig = self.config  # type: ignore[assignment]
+            if cfg.integrity_tree:
+                img, raw = yield from self.read_object_with_raw(cached[1], part)
+            else:
+                img = yield from self.read_object_at(cached[1], part)
+                raw = None
             if self._img_current(img, key):
                 self.cache_hits += 1
-                # Current but not yet durable: the bucket would point at
-                # this same slot, so skip the re-probe and fall back.
-                return img.value if img.durable else None
+                if not img.durable:
+                    # Current but not yet durable: the bucket would point
+                    # at this same slot, so skip the re-probe and fall
+                    # back.
+                    return None
+                if raw is not None and not (
+                    yield from self._tree_verify(cached[1], part, raw)
+                ):
+                    # The image parsed as current but its bytes disagree
+                    # with the checksum ledger under the pushed root —
+                    # end-to-end detection on the 1-READ path. Let the
+                    # server resolve (and the scrubber repair) it.
+                    self.tree_rejects += 1
+                    self._loc_cache.pop(key)
+                    return None
+                return img.value
             # Overwritten / deleted / migrated behind our back.
             self._loc_cache.pop(key)
         self.cache_misses += 1
@@ -209,6 +231,21 @@ class EFactoryClient(BaseClient):
                 self._loc_cache.put(key, (part, slot))
             return img.value
         return None  # incomplete / not yet durable: re-read via RPC
+
+    def _tree_verify(
+        self, slot: Slot, part: int, raw: bytes
+    ) -> Generator[Event, Any, bool]:
+        """End-to-end check of a 1-READ image against the integrity
+        tree. In the real system the client holds the signed Merkle root
+        (pushed with durability notifications) plus the ledger slice for
+        its cached slots and verifies locally; the sim shortcut consults
+        the server-side ledger directly and charges the client-side CRC
+        cost, which is the same number of hashed bytes."""
+        integ = self.server.partitions[part].integrity
+        if integ is None:
+            return True
+        yield self.env.timeout(self.config.crc_cost.cost_ns(len(raw)))
+        return integ.verify_image(slot.pool, slot.offset, raw)
 
     def _rpc_read(self, key: bytes) -> Generator[Event, Any, bytes]:
         """Steps 5-9 (retried under the resilience policy when attached)."""
@@ -246,4 +283,5 @@ class EFactoryClient(BaseClient):
             "degraded": self.degraded_reads,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "tree_rejects": self.tree_rejects,
         }

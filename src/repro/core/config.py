@@ -23,7 +23,20 @@ from typing import Any
 from repro.baselines.base import StoreConfig
 from repro.errors import ConfigError
 
-__all__ = ["EFactoryConfig", "efactory_config"]
+__all__ = ["EFactoryConfig", "efactory_config", "integrity_overrides"]
+
+#: Default stripe size (KiB) the harnesses use when turning the parity
+#: tier on (``repro chaos --parity``, the integrity bench suite).
+DEFAULT_PARITY_STRIPE_KB = 4
+
+
+def integrity_overrides(
+    *, stripe_kb: int = DEFAULT_PARITY_STRIPE_KB, tree: bool = True
+) -> dict[str, Any]:
+    """Config overrides that enable the self-healing integrity tier:
+    XOR parity + checksum ledger, and (by default) the Merkle-over-
+    ledger tree checked on cache-warm one-READ GETs."""
+    return {"parity_stripe_kb": stripe_kb, "integrity_tree": tree}
 
 
 @dataclass(frozen=True)

@@ -189,6 +189,8 @@ class LogCleaner:
             old = part.pools[part.write_pool_id]
             new = part.pools[1 - part.write_pool_id]
             new.reset()
+            if part.integrity is not None:
+                part.integrity.reset_pool(new.pool_id)
             _enter_interference(self.server)
             try:
                 yield from self._notify("start", await_acks=True)
@@ -204,6 +206,8 @@ class LogCleaner:
             finally:
                 _exit_interference(self.server)
             old.reset()
+            if part.integrity is not None:
+                part.integrity.reset_pool(old.pool_id)
             self.stats.cycles += 1
         except Interrupt:
             return
@@ -352,6 +356,17 @@ class LogCleaner:
             yield self.env.timeout(cfg.nvm_timing.copy_cost(loc.size))
             new.write(new_off, header + img.key + img.value)
             yield from part.device.persist(new.abs_addr(new_off), loc.size)
+            if part.integrity is not None:
+                # The copy is settled by construction: cover the intended
+                # bytes (so a corrupting persist is reconstructible) and
+                # flush parity/ledger with the move.
+                new_loc = ObjectLocation(
+                    pool=new.pool_id, offset=new_off, size=loc.size
+                )
+                part.integrity.note_settled(
+                    new_loc, header + img.key + img.value
+                )
+                yield from part.integrity.flush()
 
             # Publish as the cleaning copy; mark the original migrated.
             yield self.env.timeout(cfg.entry_update_ns)
@@ -413,10 +428,19 @@ class LogCleaner:
                     pack_ptr(alt.pool, alt.offset) if alt is not None else NULL_PTR
                 )
                 addr = part.pools[loc.pool].abs_addr(loc.offset) + pre_off
+                old_pre = (
+                    bytes(part.pools[loc.pool].read(loc.offset + pre_off, 8))
+                    if part.integrity is not None
+                    else None
+                )
                 part.device.write_atomic64(
                     addr, OBJECT_HEADER.pack_field("pre_ptr", new_ptr)
                 )
                 part.device.flush(addr, 8)
+                if old_pre is not None:
+                    part.integrity.note_mutation(
+                        loc.pool, loc.offset, pre_off, old_pre
+                    )
                 return
             # hop along the new-pool chain
             nxt = parse_header(

@@ -157,6 +157,7 @@ def _recover_partition(
             t.read_cost(HEADER_SIZE) * max(1, len(allocations) + 1)
         )
         pool.allocations = allocations
+        pool.garbage_bytes = 0  # volatile trigger state; re-accumulates
         if allocations:
             last = allocations[-1]
             pool.head = (
@@ -200,6 +201,13 @@ def _recover_partition(
             report.keys_rolled_back += 1
         else:
             report.keys_recovered += 1
+
+    # 3. integrity rebuild: recompute parity + ledger + root from the
+    # recovered pool contents and rewrite the full NVM regions. The
+    # regions are never *read* during recovery (a crash may have torn
+    # them), so this keeps repeated recoveries byte-identical.
+    if part.integrity is not None:
+        yield from part.integrity.rebuild()
 
     return report
 
@@ -246,6 +254,7 @@ def seed_index_from_pools(
         allocations = scan_pool(pool)
         yield env.timeout(t.read_cost(HEADER_SIZE) * max(1, len(allocations) + 1))
         pool.allocations = allocations
+        pool.garbage_bytes = 0
         if allocations:
             last = allocations[-1]
             pool.head = (

@@ -111,6 +111,12 @@ class EFactoryServer(BaseServer):
                 "events_per_op": processed / total_ops if total_ops else 0,
             },
         }
+        if self.partitions[0].integrity is not None:
+            integ: dict[str, int] = {}
+            for part in self.partitions:
+                for key, value in part.integrity.stats().items():
+                    integ[key] = integ.get(key, 0) + value
+            out["integrity"] = integ
         if self.cluster_node is not None:
             out["cluster"] = self.cluster_node.metrics()
         return out
@@ -200,8 +206,17 @@ class EFactoryServer(BaseServer):
         # reader is never blocked behind the background thread's cursor.
         yield self.env.timeout(cfg.crc_cost.cost_ns(img.vlen))
         if part.object_value_ok(img):
+            raw = (
+                bytes(part.pools[loc.pool].read(loc.offset, loc.size))
+                if part.integrity is not None
+                else None
+            )
             yield from part.persist_object(loc)
             part.mark_durable(loc, img)
+            if part.integrity is not None:
+                # Request-path settle: cover + flush inline, same as a
+                # one-object verifier batch.
+                yield from part.integrity.settle_batch([(loc, raw)])
             return loc
         return None
 

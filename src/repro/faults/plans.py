@@ -145,6 +145,25 @@ def bitrot(probability: float = 0.02) -> FaultPlan:
     )
 
 
+def bitrot_heavy(probability: float = 0.12) -> FaultPlan:
+    """Aggressive bitrot: enough flips that stripes accumulate *multiple*
+    faulted pages, defeating single-parity reconstruction. Exercises the
+    escalation ladder — parity first, then replica-assisted repair
+    (cluster), then version rollback, then clear."""
+    return FaultPlan(
+        "bitrot-heavy",
+        (
+            FaultRule(
+                kind="nvm_bitrot", site="nvm.persist", probability=probability
+            ),
+            FaultRule(
+                kind="nvm_bitrot", site="nvm.flush", probability=probability / 2
+            ),
+        ),
+        description="dense multi-fault media corruption on writebacks",
+    )
+
+
 def torn_media(probability: float = 0.02) -> FaultPlan:
     """Writebacks that reach the power-fail domain only partially: one
     8-byte word of the flushed range is withheld (torn store)."""
@@ -222,6 +241,7 @@ SHIPPED_PLANS: dict[str, Callable[..., FaultPlan]] = {
     "verifier-pause": verifier_pause,
     "jittery-fabric": jittery_fabric,
     "bitrot": bitrot,
+    "bitrot-heavy": bitrot_heavy,
     "torn-media": torn_media,
     "node-kill": node_kill,
     "kill-backup": kill_backup,

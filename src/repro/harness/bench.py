@@ -34,6 +34,7 @@ __all__ = [
     "bench_cell",
     "run_bench_suite",
     "run_cluster_bench_suite",
+    "run_parity_bench_suite",
 ]
 
 
@@ -201,6 +202,63 @@ def run_bench_suite(
         "ops": ops,
         "value_len": value_len,
         "put_batch": put_batch,
+        "results": rows,
+    }
+
+
+# -- the PR-8 parity-overhead suite -------------------------------------------
+
+
+def run_parity_bench_suite(
+    *,
+    ops: int = 256,
+    value_len: int = 64,
+    partitions: tuple[int, ...] = (1,),
+) -> dict[str, Any]:
+    """PUT throughput with the integrity tier off vs. on.
+
+    The "on" cell pays the parity-delta XOR, ledger CRC, and coalesced
+    parity/ledger/root flushes in the background verifier; the acked-PUT
+    path itself is untouched, so the visible overhead is the extra NVM
+    traffic contending with foreground persists. The PR-8 acceptance bar
+    is <= 15% throughput loss (asserted in ``benchmarks/``).
+    """
+    from repro.core.config import integrity_overrides
+
+    rows = []
+    for parts in partitions:
+        for label, overrides in (
+            ("put_parity_off", {}),
+            ("put_parity_on", integrity_overrides()),
+        ):
+            row = bench_cell(
+                BenchSpec(
+                    bench="put",
+                    partitions=parts,
+                    ops=ops,
+                    value_len=value_len,
+                    config_overrides=dict(overrides),
+                )
+            )
+            row["bench"] = label
+            rows.append(row)
+        off = next(
+            r for r in rows
+            if r["bench"] == "put_parity_off" and r["partitions"] == parts
+        )
+        on = next(
+            r for r in rows
+            if r["bench"] == "put_parity_on" and r["partitions"] == parts
+        )
+        on["overhead_frac"] = (
+            1.0 - on["ops_per_sec"] / off["ops_per_sec"]
+            if off["ops_per_sec"] > 0
+            else 0.0
+        )
+    return {
+        "suite": "parity",
+        "ops": ops,
+        "value_len": value_len,
         "results": rows,
     }
 

@@ -68,6 +68,10 @@ class ChaosSpec:
     config_overrides: dict = field(default_factory=dict)
     plan_overrides: dict = field(default_factory=dict)
     trace: bool = False
+    #: Arm the self-healing integrity tier (per-stripe parity + checksum
+    #: ledger + integrity tree) with the shipped defaults. Explicit
+    #: ``config_overrides`` keys still win.
+    parity: bool = False
     #: Cluster shape. ``nodes=1, replication=1`` (the default) runs the
     #: classic single-server harness with bit-identical event order.
     nodes: int = 1
@@ -103,6 +107,14 @@ class ChaosReport:
     trace_counts: dict[str, int] = field(default_factory=dict)
     #: Online-scrubber counters (empty when the store has no scrubber).
     scrub: dict[str, int] = field(default_factory=dict)
+    #: Repair-outcome accounting under media faults: how each detected
+    #: corruption was resolved (reconstructed from parity, fetched from
+    #: a replica, rolled back to an older version, or cleared), plus the
+    #: number of media faults actually injected.
+    repair: dict[str, int] = field(default_factory=dict)
+    #: Integrity-tier counters (parity/ledger maintenance; empty when
+    #: the tier is off).
+    integrity: dict[str, int] = field(default_factory=dict)
     #: Cluster metrics (failovers, promotions, shipping; empty when the
     #: run was single-node).
     cluster: dict[str, Any] = field(default_factory=dict)
@@ -137,6 +149,8 @@ class ChaosReport:
             "degraded_reads": self.degraded_reads,
             "wall_ns": self.wall_ns,
             "scrub": dict(self.scrub),
+            "repair": dict(self.repair),
+            "integrity": dict(self.integrity),
             "cluster": dict(self.cluster),
             "migration": dict(self.migration),
         }
@@ -175,6 +189,10 @@ def run_chaos_experiment(
             # Media faults need the online scrubber: without it the
             # durability-flag shortcut would serve rot forever.
             overrides["scrub_interval_ns"] = 2_000.0
+    if spec.parity:
+        from repro.core.config import integrity_overrides
+
+        overrides.update(integrity_overrides())
     overrides.update(spec.config_overrides)
     if cluster_mode:
         from repro.cluster import build_cluster
@@ -335,6 +353,37 @@ def run_chaos_experiment(
             resilience[name] = resilience.get(name, 0) + count
     degraded = sum(getattr(c, "degraded_reads", 0) for c in setup.clients)
 
+    # -- repair-outcome accounting (every node's scrubber + device) -----------
+    all_servers = list(getattr(setup, "servers", None) or [setup.server])
+    repair: dict[str, int] = {}
+    integrity: dict[str, int] = {}
+    if media_plan:
+        totals: dict[str, int] = {}
+        for srv in all_servers:
+            sc = getattr(srv, "scrubber", None)
+            if sc is None:
+                continue
+            for name, count in sc.stats().items():
+                totals[name] = totals.get(name, 0) + count
+        repair = {
+            "media_faults": sum(s.device.media_faults for s in all_servers),
+            "detected": totals.get("corrupt_found", 0),
+            "reconstructed": totals.get("reconstructed", 0),
+            "replica_fetched": totals.get("replica_fetched", 0),
+            "rolled_back": totals.get("repaired", 0),
+            "cleared": totals.get("unrepairable", 0),
+            "parity_stale": totals.get("parity_stale", 0),
+            "tree_rejects": sum(
+                getattr(c, "tree_rejects", 0) for c in setup.clients
+            ),
+        }
+    for srv in all_servers:
+        for part in getattr(srv, "partitions", ()):
+            if getattr(part, "integrity", None) is None:
+                continue
+            for name, count in part.integrity.stats().items():
+                integrity[name] = integrity.get(name, 0) + count
+
     return ChaosReport(
         spec=spec,
         plan_name=plan.name,
@@ -351,6 +400,8 @@ def run_chaos_experiment(
         wall_ns=wall_ns,
         trace_counts=tracer.counts() if tracer is not None else {},
         scrub=dict(scrubber.stats()) if scrubber is not None else {},
+        repair=repair,
+        integrity=integrity,
         cluster=cluster_metrics,
         migration=migration_stats,
     )

@@ -1,0 +1,23 @@
+"""Self-healing integrity tier (Pangolin-style, beyond the paper).
+
+Per-partition XOR parity over log-pool stripes plus a per-object
+checksum ledger, maintained incrementally by the background verifier,
+with an optional coalesced Merkle-over-ledger mode for end-to-end
+verification on the GET fast path. See :mod:`repro.integrity.tier`.
+"""
+
+from repro.integrity.tier import (
+    LEDGER_SLOT,
+    PARITY_PAGE,
+    PartitionIntegrity,
+    PoolIntegrity,
+    integrity_region_bytes,
+)
+
+__all__ = [
+    "LEDGER_SLOT",
+    "PARITY_PAGE",
+    "PartitionIntegrity",
+    "PoolIntegrity",
+    "integrity_region_bytes",
+]

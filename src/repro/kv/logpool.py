@@ -60,6 +60,7 @@ class LogPool:
         "reserve_fraction",
         "head",
         "allocations",
+        "garbage_bytes",
     )
 
     def __init__(
@@ -86,6 +87,9 @@ class LogPool:
         self.reserve_fraction = reserve_fraction
         self.head = 0
         self.allocations: list[Allocation] = []
+        #: Dead bytes known reclaimable by a cleaning pass (retired rot,
+        #: invalidated writes) — a *trigger* input, not allocator state.
+        self.garbage_bytes = 0
 
     # -- capacity ------------------------------------------------------------
     @property
@@ -97,8 +101,15 @@ class LogPool:
         return self.size - self.head
 
     def needs_cleaning(self) -> bool:
-        """True once free space has fallen into the reserve threshold."""
-        return self.free <= self.size * self.reserve_fraction
+        """True once free space has fallen into the reserve threshold,
+        or enough known-dead bytes have piled up to fill the reserve
+        (retired rot used to sit outside this trigger forever)."""
+        threshold = self.size * self.reserve_fraction
+        return self.free <= threshold or self.garbage_bytes >= threshold
+
+    def add_garbage(self, nbytes: int) -> None:
+        """Charge a retired/invalidated object's footprint as garbage."""
+        self.garbage_bytes += (nbytes + self.align - 1) & ~(self.align - 1)
 
     # -- allocation -------------------------------------------------------------
     def allocate(self, nbytes: int) -> int:
@@ -139,6 +150,7 @@ class LogPool:
         """Recycle the pool (log cleaning retires and reuses it)."""
         self.head = 0
         self.allocations.clear()
+        self.garbage_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

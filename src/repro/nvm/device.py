@@ -96,7 +96,7 @@ class NVMTiming:
 class NVMDevice:
     """A simulated NVMM DIMM-set (see module docstring)."""
 
-    __slots__ = ("env", "name", "timing", "buffer", "injector")
+    __slots__ = ("env", "name", "timing", "buffer", "injector", "media_faults")
 
     def __init__(
         self,
@@ -112,6 +112,10 @@ class NVMDevice:
         #: Armed fault injector (:mod:`repro.faults`), or None; the
         #: persist path checks this one attribute per flush.
         self.injector = None
+        #: Media-fault events actually resolved against this device
+        #: (bitrot flips + torn writebacks) — the denominator for the
+        #: chaos harness's repair-outcome accounting.
+        self.media_faults = 0
 
     @property
     def size(self) -> int:
@@ -190,9 +194,11 @@ class NVMDevice:
         """Resolve a media-fault action on one writeback."""
         rng = getattr(self.injector, "media_rng", None)
         if act.kind == "nvm_torn_store" and rng is not None:
+            self.media_faults += 1
             return self.buffer.flush_torn(addr, length, rng)
         n = self.buffer.flush(addr, length)
         if act.kind == "nvm_bitrot" and rng is not None and length > 0:
+            self.media_faults += 1
             off = int(rng.integers(length))
             self.buffer.corrupt(addr + off, "bitflip", rng=rng)
         return n

@@ -129,6 +129,36 @@ def test_media_plans_auto_engage_the_scrubber(plan):
     report = run_chaos_experiment(ChaosSpec(store="efactory", plan=plan, **SMALL))
     assert report.ok, report.violations
     assert set(report.scrub) == {
-        "scrubbed", "corrupt_found", "repaired", "unrepairable"
+        "scrubbed", "corrupt_found", "repaired", "unrepairable",
+        "reconstructed", "parity_stale", "replica_fetched",
     }
     assert report.scrub["scrubbed"] > 0  # the scrubber really ran
+
+
+class TestParityChaos:
+    def test_parity_flag_arms_the_integrity_tier(self):
+        """``--parity`` layers the self-healing tier onto a media plan:
+        the report carries repair outcomes and the coverage ledger, rot
+        is repaired by reconstruction before rollback is even tried, and
+        no key is cleared."""
+        report = run_chaos_experiment(
+            ChaosSpec(store="efactory", plan="bitrot", parity=True, **SMALL)
+        )
+        assert report.ok, report.violations
+        assert set(report.repair) == {
+            "media_faults", "detected", "reconstructed", "replica_fetched",
+            "rolled_back", "cleared", "parity_stale", "tree_rejects",
+        }
+        assert report.repair["media_faults"] > 0
+        assert report.repair["detected"] >= 1
+        assert report.repair["reconstructed"] >= 1  # parity repair fired
+        assert report.repair["cleared"] == 0  # no key was lost
+        assert report.integrity["covered"] > 0  # the ledger was active
+
+    def test_parity_off_reports_no_integrity_counters(self):
+        report = run_chaos_experiment(
+            ChaosSpec(store="efactory", plan="bitrot", **SMALL)
+        )
+        assert report.ok, report.violations
+        assert report.integrity == {}
+        assert report.repair["reconstructed"] == 0

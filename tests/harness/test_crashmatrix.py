@@ -1,6 +1,7 @@
 """The crash-point matrix: deterministic enumeration, coverage of every
 boundary class, and clean verdicts on the reference store."""
 
+from repro.core.config import integrity_overrides
 from repro.harness.crashmatrix import CrashMatrixSpec, run_crash_matrix
 
 
@@ -39,6 +40,19 @@ def test_every_crashed_point_recovers_idempotently():
             assert r.idempotent, f"{r.phase}:{r.site}#{r.op_index}"
             assert r.recovery is not None
             assert r.digest  # the post-recovery image was fingerprinted
+
+
+def test_matrix_with_parity_recovers_idempotently():
+    """The integrity tier is DRAM-authoritative with a deterministic
+    NVM region rebuild on recovery, so arming it must not cost the
+    matrix its idempotence or replay identity."""
+    rep = run_crash_matrix(
+        _spec(replay=True, config_overrides=integrity_overrides())
+    )
+    assert rep.ok, (rep.violations, rep.non_idempotent, rep.replay_mismatches)
+    assert rep.non_idempotent == []
+    assert rep.replay_mismatches == []
+    assert any(r.crashed for r in rep.results)
 
 
 def test_matrix_is_deterministic():

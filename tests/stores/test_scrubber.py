@@ -98,7 +98,8 @@ class TestWiring:
         setup = small_store("efactory", env, **SCRUB)
         metrics = setup.server.metrics()
         assert set(metrics["scrubber"]) == {
-            "scrubbed", "corrupt_found", "repaired", "unrepairable"
+            "scrubbed", "corrupt_found", "repaired", "unrepairable",
+            "reconstructed", "parity_stale", "replica_fetched",
         }
         assert "verifier" in metrics and "cleaner" in metrics
 
