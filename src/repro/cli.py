@@ -227,6 +227,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON output path (default: BENCH_pr6.json)",
     )
 
+    sc_p = sub.add_parser(
+        "staticcheck",
+        help="domain-aware static analysis (persist ordering, yield "
+        "races, determinism, registry cross-check)",
+    )
+    sc_p.add_argument(
+        "--root",
+        default="src/repro",
+        help="tree to analyze (default: src/repro)",
+    )
+    sc_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppression file (default: staticcheck.toml if present)",
+    )
+    sc_p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any suppression file (show every raw finding)",
+    )
+    sc_p.add_argument(
+        "--rules",
+        metavar="PREFIXES",
+        help="comma-separated rule-id prefixes to keep (e.g. PO,DT003)",
+    )
+    sc_p.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail if any suppression matched nothing this run",
+    )
+    sc_p.add_argument("--json", metavar="PATH", help="write the report here")
+
     return parser
 
 
@@ -679,6 +712,54 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> tuple[str, Any, int]:
     return "\n".join(lines), payload, status
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> tuple[str, Any, int]:
+    from repro.staticcheck import DEFAULT_BASELINE, run_staticcheck
+
+    baseline = None
+    if not args.no_baseline:
+        baseline = args.baseline or DEFAULT_BASELINE
+    rules = (
+        {r.strip() for r in args.rules.split(",") if r.strip()}
+        if args.rules
+        else None
+    )
+    rep = run_staticcheck(args.root, baseline=baseline, rules=rules)
+
+    table = Table(["checker", "raw findings"])
+    for name, count in rep.per_checker.items():
+        table.add(name, count)
+    text = banner("staticcheck") + "\n" + table.render()
+    text += (
+        f"\n{rep.modules_scanned} modules / {rep.functions_scanned} "
+        f"functions analyzed in {rep.elapsed_s:.2f}s"
+    )
+    if rep.baseline_path:
+        text += (
+            f"\nbaseline {rep.baseline_path}: {len(rep.suppressed)} "
+            "finding(s) suppressed"
+        )
+    for f in rep.findings:
+        text += "\n" + f.render()
+    for s in rep.unused_suppressions:
+        text += (
+            f"\nunused suppression: {s.rule} path={s.path or '*'} "
+            f"({s.reason})"
+        )
+    status = 0
+    if rep.findings:
+        text += f"\nFAIL: {len(rep.findings)} unsuppressed finding(s)"
+        status = 1
+    elif args.strict_baseline and rep.unused_suppressions:
+        text += (
+            f"\nFAIL: {len(rep.unused_suppressions)} stale "
+            "suppression(s) (--strict-baseline)"
+        )
+        status = 1
+    else:
+        text += "\nOK: no unsuppressed findings"
+    return text, rep.as_dict(), status
+
+
 def _jsonable(obj: Any) -> Any:
     """Coerce experiment dicts (int keys, tuples) into JSON-safe data."""
     if isinstance(obj, dict):
@@ -709,6 +790,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _cmd_bench(args)
     elif args.command == "bench-kernel":
         text, payload, status = _cmd_bench_kernel(args)
+    elif args.command == "staticcheck":
+        text, payload, status = _cmd_staticcheck(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(text)

@@ -36,7 +36,11 @@ from typing import Any, Optional
 
 from repro.baselines.base import BaseServer, ObjectLocation, Partition
 from repro.crc.crc32 import crc32_fast
-from repro.errors import MemoryAccessError, RecoveryError
+from repro.errors import (
+    CorruptObjectError,
+    MemoryAccessError,
+    RecoveryError,
+)
 from repro.kv.hopscotch import HopscotchTable, TwoVersions
 from repro.kv.logpool import Allocation, LogPool
 from repro.kv.objects import (
@@ -359,7 +363,8 @@ def _verify_version(
     yield env.timeout(t.read_cost(loc.size))
     try:
         img = part.read_object(loc)
-    except Exception:
+    except (MemoryAccessError, CorruptObjectError):
+        # out-of-pool pointer or short/garbled fragment: not intact
         return False
     if not img.well_formed or not (img.flags & FLAG_VALID):
         return False

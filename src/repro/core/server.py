@@ -240,6 +240,11 @@ class EFactoryServer(BaseServer):
             part.table.persist_entry(entry_off)
             if img.well_formed:
                 part.set_object_flags(loc, img.flags & ~FLAG_VALID)
+                # The VALID clear must be durable before the ack, or a
+                # crash resurrects the object when the pool scan re-seeds
+                # the index (same store+flush pairing as mark_durable;
+                # the flush_cost timeout below already charges the time).
+                part.device.flush(part.pools[loc.pool].abs_addr(loc.offset), 8)
             yield self.env.timeout(cfg.nvm_timing.flush_cost(32))
             return {"ok": True}, RESPONSE_BYTES
         finally:

@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.sites import validate_pattern
 
 __all__ = [
     "NODE_KILL_PLANS",
@@ -260,10 +261,19 @@ def shipped_plan_names() -> list[str]:
 
 
 def shipped_plan(name: str, **overrides) -> FaultPlan:
-    """Build a shipped plan by name (optionally re-parameterised)."""
+    """Build a shipped plan by name (optionally re-parameterised).
+
+    Every rule's site pattern is validated against the fault-site
+    registry (:mod:`repro.faults.sites`): a plan naming a site nothing
+    fires is a :class:`~repro.errors.ConfigError` at build time, not a
+    rule that silently never triggers.
+    """
     builder = SHIPPED_PLANS.get(name)
     if builder is None:
         raise ConfigError(
             f"unknown fault plan {name!r}; known: {shipped_plan_names()}"
         )
-    return builder(**overrides)
+    plan = builder(**overrides)
+    for rule in plan.rules:
+        validate_pattern(rule.site, context=f"plan {plan.name!r}")
+    return plan

@@ -1,0 +1,223 @@
+"""The fault-site registry: single source of truth for injection sites.
+
+Every ``injector.fire("<site>")`` call in the tree must name (or, for
+dynamic sites, match a family of) an entry registered here, and every
+entry here must be fired somewhere — the static cross-checker
+(:mod:`repro.staticcheck.registry`) enforces both directions, so a
+typo'd site string or a dead registry row is a CI failure, not a
+silently-never-firing chaos rule.
+
+Consumers:
+
+* :mod:`repro.faults.plans` validates every shipped rule's ``site``
+  pattern against the registry at build time (:func:`validate_pattern`);
+* :mod:`repro.harness.crashmatrix` derives its default crash-site list
+  from the ``crash_point`` rows (:func:`crash_matrix_sites`);
+* :mod:`repro.staticcheck.registry` cross-checks the fired-site universe
+  extracted from the AST against :func:`all_known_sites` /
+  :func:`family_prefixes`.
+
+A :class:`Site` is either *static* (``members is None``: the site name
+itself is fired, e.g. ``rpc.dispatch``) or a *family* (``members`` or
+``dynamic`` set: the firing code interpolates a suffix, e.g.
+``bg.cleaner.{stage}``). Families with a closed member set enumerate it;
+open families (``cluster.node<N>`` — one site per deployed node) mark
+themselves ``dynamic`` and are matched by prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Site",
+    "SITES",
+    "all_known_sites",
+    "crash_matrix_sites",
+    "family_prefixes",
+    "is_known_site",
+    "validate_pattern",
+]
+
+
+@dataclass(frozen=True)
+class Site:
+    """One registered injection site (or family of sites).
+
+    Attributes
+    ----------
+    name:
+        The fired site string, or the family prefix for dynamic sites.
+    fired_by:
+        Module that calls ``injector.fire`` for this site (documentation
+        + the cross-checker's dead-site error message).
+    description:
+        What an operation at this site is.
+    members:
+        For closed families: the concrete suffixes interpolated at the
+        fire call (full site = ``f"{name}.{member}"``).
+    dynamic:
+        Open family: any ``name.<suffix>`` is valid (one site per
+        deployed cluster node).
+    crash_point:
+        The crash-point matrix pulls the plug at this site by default.
+        ``recovery.step`` is a crash point too but is driven by the
+        matrix's dedicated double-crash phase, not the default sweep.
+    """
+
+    name: str
+    fired_by: str
+    description: str
+    members: Optional[tuple[str, ...]] = None
+    dynamic: bool = False
+    crash_point: bool = False
+
+    def site_names(self) -> Iterator[str]:
+        """Concrete site strings (static name, or each closed member)."""
+        if self.members is None:
+            yield self.name
+        else:
+            for m in self.members:
+                yield f"{self.name}.{m}"
+
+    def covers(self, site: str) -> bool:
+        """Does ``site`` belong to this registry row?"""
+        if self.dynamic:
+            return site.startswith(self.name + ".") or site == self.name
+        return site in self.site_names()
+
+
+#: The registry. Crash-point rows are ordered exactly as the crash-point
+#: matrix has always swept them (the matrix report's row order — and so
+#: its JSON artifact — is part of the bit-identical surface).
+SITES: tuple[Site, ...] = (
+    Site(
+        "qp",
+        "repro.rdma.qp",
+        "head of every verb on an Endpoint",
+        members=(
+            "write",
+            "write_many",
+            "read",
+            "cas",
+            "faa",
+            "send",
+            "write_imm",
+        ),
+    ),
+    Site(
+        "nvm.store64",
+        "repro.nvm.device",
+        "aligned 8-byte atomic store (publish boundary)",
+        crash_point=True,
+    ),
+    Site(
+        "nvm.flush",
+        "repro.nvm.device",
+        "state-level writeback (timing charged by the caller)",
+        crash_point=True,
+    ),
+    Site(
+        "nvm.persist",
+        "repro.nvm.device",
+        "timed CLWB sweep + SFENCE drain",
+        crash_point=True,
+    ),
+    Site(
+        "rpc.dispatch",
+        "repro.rdma.rpc",
+        "server polling thread, before dispatching the next message",
+        crash_point=True,
+    ),
+    Site(
+        "bg.verifier",
+        "repro.core.background",
+        "background verifier, per settle step",
+        crash_point=True,
+    ),
+    Site(
+        "bg.cleaner",
+        "repro.core.log_cleaning",
+        "log-cleaning stage entry (compress, merge, finish)",
+        members=("compress", "merge", "finish"),
+        crash_point=True,
+    ),
+    Site(
+        "bg.scrubber",
+        "repro.core.scrub",
+        "online scrubber, per scanned head",
+    ),
+    Site(
+        "recovery.step",
+        "repro.core.recovery",
+        "per-entry step inside recovery (double-crash phase)",
+    ),
+    Site(
+        "cluster",
+        "repro.cluster.node",
+        "per-node kill-poll visit (cluster.node0, cluster.node1, ...)",
+        dynamic=True,
+    ),
+)
+
+
+def all_known_sites() -> tuple[str, ...]:
+    """Every concrete site string from closed rows, in registry order."""
+    out: list[str] = []
+    for site in SITES:
+        if not site.dynamic:
+            out.extend(site.site_names())
+    return tuple(out)
+
+
+def family_prefixes() -> tuple[str, ...]:
+    """Prefixes of family rows (closed and open), for f-string sites."""
+    return tuple(s.name for s in SITES if s.members is not None or s.dynamic)
+
+
+def crash_matrix_sites() -> tuple[str, ...]:
+    """Default crash-site sweep for the crash-point matrix."""
+    out: list[str] = []
+    for site in SITES:
+        if site.crash_point:
+            out.extend(site.site_names())
+    return tuple(out)
+
+
+def is_known_site(site: str) -> bool:
+    """Is ``site`` a registered concrete site (or dynamic-family member)?"""
+    return any(row.covers(site) for row in SITES)
+
+
+def validate_pattern(pattern: str, *, context: str = "") -> None:
+    """Reject a rule site ``pattern`` that can never match a registered
+    site (exact unknown name, or a ``prefix.*`` covering nothing).
+
+    Raises :class:`~repro.errors.ConfigError`; used by the shipped-plan
+    builders so a typo'd plan fails at construction, not by silently
+    never firing.
+    """
+    if pattern == "*":
+        return
+    where = f" in {context}" if context else ""
+    if pattern.endswith(".*"):
+        prefix = pattern[:-2]
+        for row in SITES:
+            if row.dynamic or row.members is not None:
+                if row.name == prefix or row.name.startswith(prefix + "."):
+                    return
+            for name in row.site_names():
+                if name.startswith(prefix + "."):
+                    return
+        raise ConfigError(
+            f"site pattern {pattern!r}{where} matches no registered "
+            f"injection site (see repro/faults/sites.py)"
+        )
+    if not is_known_site(pattern):
+        raise ConfigError(
+            f"unknown injection site {pattern!r}{where} "
+            f"(see repro/faults/sites.py)"
+        )

@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.faults.injector import FaultInjector, arm_store, disarm_store
 from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.sites import crash_matrix_sites
 from repro.harness.crash import read_value_state
 from repro.rdma.rpc import RpcFault
 from repro.sim.kernel import Environment, Event, Interrupt
@@ -68,18 +69,11 @@ __all__ = [
 ]
 
 #: Server-side sites the matrix crashes at by default — every persist /
-#: atomic-store boundary plus each background stage. ``recovery.step``
+#: atomic-store boundary plus each background stage, derived from the
+#: fault-site registry (``crash_point`` rows of
+#: :data:`repro.faults.sites.SITES`, in registry order). ``recovery.step``
 #: is handled separately (phase 5 above).
-DEFAULT_SITES = (
-    "nvm.store64",
-    "nvm.flush",
-    "nvm.persist",
-    "rpc.dispatch",
-    "bg.verifier",
-    "bg.cleaner.compress",
-    "bg.cleaner.merge",
-    "bg.cleaner.finish",
-)
+DEFAULT_SITES = crash_matrix_sites()
 
 
 @dataclass(frozen=True)

@@ -45,7 +45,7 @@ from __future__ import annotations
 from collections.abc import Generator
 from typing import Any, Optional
 
-from repro.errors import QPError
+from repro.errors import MemoryAccessError, QPError
 from repro.rdma.fabric import Fabric, Node
 from repro.rdma.verbs import Message, Opcode, WorkCompletion, next_wr_id
 from repro.sim.kernel import Event
@@ -278,7 +278,9 @@ class Endpoint:
             mr = self.remote.pd.lookup(rkey)
             payload = bytes(data)
             addr = mr.check(offset, len(payload), write=True)
-        except Exception:
+        except (MemoryAccessError, TypeError):
+            # bad rkey/range (ProtectionError et al.) or an un-bytes-able
+            # payload: fall back to the slow path, which raises properly
             return False
         env = self.local.env
         t = fabric.timing

@@ -1,0 +1,37 @@
+"""Domain-aware static analysis suite (``python -m repro staticcheck``).
+
+Four AST/CFG-based checkers enforce, at review time, the conventions the
+rest of the repo can only test at runtime:
+
+1. **Persist-ordering** (:mod:`repro.staticcheck.persist`, ``PO``) —
+   durable writes must reach a ``persist()``/``flush()`` boundary
+   before any publish (atomic pointer store, index insert, RPC reply).
+2. **Yield-point races** (:mod:`repro.staticcheck.yieldrace`, ``YP``) —
+   shared-state read-modify-writes must not straddle a cooperative
+   yield point without re-validation.
+3. **Determinism lint** (:mod:`repro.staticcheck.determinism`,
+   ``DT``/``EX``) — no wall clock, no unseeded randomness, no
+   id()-keyed or raw-set ordering, no over-broad excepts.
+4. **Registry cross-check** (:mod:`repro.staticcheck.registry`,
+   ``RG``) — fire() sites, fault-rule patterns, plan names and CLI
+   metrics keys must agree with the generated registries, in both
+   directions.
+
+See DESIGN.md §14 for the architecture and rule catalog, and
+``staticcheck.toml`` for the reviewed suppression baseline.
+"""
+
+from repro.staticcheck.model import RULES, Finding
+from repro.staticcheck.runner import (
+    DEFAULT_BASELINE,
+    StaticCheckReport,
+    run_staticcheck,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "RULES",
+    "StaticCheckReport",
+    "run_staticcheck",
+]

@@ -1,0 +1,140 @@
+"""Interprocedural summaries over the name-resolved call graph.
+
+Two fixpoints feed the flow-sensitive checkers:
+
+**May-yield** — in this codebase's cooperative-concurrency model
+(generator processes driven by :mod:`repro.sim.kernel`), control can
+only leave a function at an explicit ``yield`` (an Event handed to the
+kernel — ``env.timeout``, verb waits, RPC waits) or at a ``yield from``
+of a helper that itself may yield. Plain calls *cannot* deschedule the
+caller, which is exactly what makes a static race detector tractable:
+the yield points are syntactic. A function's summary is therefore: it
+may yield iff it contains a bare ``yield``, or a ``yield from`` whose
+callee resolves to a may-yield function (unresolved callees are assumed
+yielding — conservative).
+
+**Persists-before-return** — for the persist-ordering checker: a helper
+counts as a persist barrier at its call sites iff every return path
+executes a persist/flush operation after its last durable write. We
+approximate with "the function body, walked in order with branch
+joins, ends clean" (see :mod:`repro.staticcheck.persist` for the
+vocabulary); the fixpoint lets barriers compose (a helper that calls a
+barrier helper last is itself a barrier).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.model import FunctionIndex, FunctionInfo, call_tail
+
+__all__ = ["YieldSummary", "compute_may_yield", "yield_from_target"]
+
+
+def yield_from_target(node: ast.YieldFrom) -> str | None:
+    """Callee name of ``yield from f(...)`` / ``yield from x.f(...)``."""
+    value = node.value
+    if isinstance(value, ast.Call):
+        return call_tail(value)
+    return None
+
+
+@dataclass
+class YieldSummary:
+    """may_yield[fn-name] — union over same-name definitions."""
+
+    may_yield: dict[str, bool] = field(default_factory=dict)
+
+    def call_may_yield(self, callee: str | None) -> bool:
+        """Would ``yield from callee(...)`` be a scheduling point?
+
+        Unknown callees (stdlib, builtins, dynamically-bound) are
+        assumed yielding: a false "yields" widens the race window the
+        checker considers, never hides one.
+        """
+        if callee is None:
+            return True
+        return self.may_yield.get(callee, True)
+
+
+#: Generator helpers that are pure data producers (consumed by ``for``
+#: loops / ``list()``, never driven by the kernel): yielding *values*,
+#: not Events. ``yield from`` of these is not a scheduling point. The
+#: may-yield fixpoint discovers event-yielding helpers on its own; this
+#: set only prevents data generators from polluting the summary via the
+#: shared-name resolution.
+_DATA_GENERATOR_NAMES = frozenset({"site_names", "walk_functions", "visit"})
+
+
+def compute_may_yield(index: FunctionIndex) -> YieldSummary:
+    """Fixpoint: does each named function contain a kernel yield point?
+
+    Seeds: any function with a bare ``yield`` may yield (in this tree a
+    bare yield inside a sim process always hands an Event to the
+    kernel; data generators are listed in ``_DATA_GENERATOR_NAMES``).
+    Then ``yield from`` edges propagate until stable. Names are merged
+    across same-name definitions (see ``FunctionIndex``).
+    """
+    own_yield: dict[str, bool] = {}
+    edges: dict[str, set[str]] = {}
+    known: set[str] = set()
+    for info in index.functions:
+        name = info.name
+        known.add(name)
+        bare, callees = _scan_yields(info)
+        own_yield[name] = own_yield.get(name, False) or bare
+        edges.setdefault(name, set()).update(callees)
+
+    may: dict[str, bool] = {
+        name: own_yield.get(name, False) and name not in _DATA_GENERATOR_NAMES
+        for name in known
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in known:
+            if may[name]:
+                continue
+            for callee in edges.get(name, ()):
+                # unresolved yield-from callee => assume yielding
+                if callee not in known or may.get(callee, False):
+                    may[name] = True
+                    changed = True
+                    break
+    return YieldSummary(may_yield=may)
+
+
+def _scan_yields(info: FunctionInfo) -> tuple[bool, set[str]]:
+    """(has bare yield, yield-from callee names) for one definition."""
+    bare = False
+    callees: set[str] = set()
+    fn = info.node
+
+    class V(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is not fn:
+                return  # nested def: its yields are its own
+            self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            return
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            nonlocal bare
+            bare = True
+            self.generic_visit(node)
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            target = yield_from_target(node)
+            if target is None:
+                nonlocal bare
+                bare = True  # yield from <non-call>: assume event source
+            else:
+                callees.add(target)
+            self.generic_visit(node)
+
+    V().visit(fn)
+    return bare, callees

@@ -1,0 +1,327 @@
+"""RG: site/counter registry cross-check.
+
+The chaos, crash-matrix and metrics machinery is stitched together by
+string literals: ``injector.fire("nvm.persist")`` must agree with the
+site a :class:`~repro.faults.plan.FaultRule` targets, the crash matrix
+counts, and the registry documents — and the CLI's report tables
+subscript metrics dicts other modules build. A typo in any of them
+ships silently today: the rule never fires, the table raises at
+runtime, or the dead site rots. This checker closes the loop against
+the fault-site registry (:mod:`repro.faults.sites`) in *both*
+directions:
+
+* **RG001** — ``fire("<literal>")`` whose site is not registered.
+* **RG002** — ``fire(f"...")`` whose literal prefix matches no
+  registered site family (``bg.cleaner``, ``cluster`` ...).
+* **RG003** — a registered site that no code fires (dead registry row;
+  delete it or restore the hook).
+* **RG004** — a ``FaultRule(site=...)`` literal pattern that can match
+  no registered site (the rule would silently never trigger).
+* **RG005** — plan-name bookkeeping: ``NODE_KILL_PLANS`` entries
+  missing from ``SHIPPED_PLANS``, or a ``SHIPPED_PLANS`` key whose
+  builder constructs a plan under a different name.
+* **RG006** — a CLI table subscripting a metrics/report key
+  (``row["shipped_records"]`` / ``res.get("retries")``) that no
+  producer dict in the tree defines.
+
+Sites fired through f-strings are matched by their literal prefix; the
+registry's closed families enumerate the suffixes, so a family member
+nothing can interpolate is still reported dead via RG003 only when no
+f-string covers its family.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.faults import sites as site_registry
+from repro.errors import ConfigError
+from repro.staticcheck.model import Finding, Module, attr_chain, call_tail
+
+__all__ = ["check_registry"]
+
+
+def _fstring_prefix(node: ast.JoinedStr) -> str:
+    """Leading literal text of an f-string, up to the first hole."""
+    prefix = ""
+    for part in node.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            prefix += part.value
+        else:
+            break
+    return prefix
+
+
+def _symbol_of(module: Module, target: ast.AST) -> str:
+    """Qualified name of the function lexically containing ``target``."""
+    result = ""
+
+    def visit(node: ast.AST, prefix: str) -> bool:
+        nonlocal result
+        if node is target:
+            result = prefix.rstrip(".")
+            return True
+        for child in ast.iter_child_nodes(node):
+            nxt = prefix
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nxt = f"{prefix}{child.name}."
+            elif isinstance(child, ast.ClassDef):
+                nxt = f"{prefix}{child.name}."
+            if visit(child, nxt):
+                return True
+        return False
+
+    visit(module.tree, "")
+    return result
+
+
+class _Collector(ast.NodeVisitor):
+    """One pass per module: fire sites, rule literals, dict keys."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.fired_literals: list[tuple[str, ast.Call]] = []
+        self.fired_prefixes: list[tuple[str, ast.Call]] = []
+        self.rule_sites: list[tuple[str, ast.Call]] = []
+        self.producer_keys: set[str] = set()
+        self.consumer_keys: list[tuple[str, ast.AST]] = []
+        self.shipped_plans: dict[str, str] = {}  # key -> builder name
+        self.node_kill_plans: list[tuple[str, ast.AST]] = []
+        self.plan_names_by_builder: dict[str, str] = {}
+
+    # fire("...") / fire(f"...") / the qp verbs' _inject("...") wrapper
+    def visit_Call(self, node: ast.Call) -> None:
+        tail = call_tail(node)
+        if tail in ("fire", "_inject") and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                self.fired_literals.append((arg.value, node))
+            elif isinstance(arg, ast.JoinedStr):
+                self.fired_prefixes.append((_fstring_prefix(arg), node))
+        elif tail == "FaultRule":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "site"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    self.rule_sites.append((kw.value.value, node))
+        elif tail == "FaultPlan" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                fn = _symbol_of(self.module, node)
+                if fn:
+                    self.plan_names_by_builder.setdefault(fn, first.value)
+        elif tail == "get" and node.args:
+            key = node.args[0]
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                self.consumer_keys.append((key.value, node))
+        elif tail == "dict":
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    self.producer_keys.add(kw.arg)
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                self.producer_keys.add(key.value)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.slice, ast.Constant) and isinstance(
+            node.slice.value, str
+        ):
+            if isinstance(node.ctx, ast.Store):
+                self.producer_keys.add(node.slice.value)
+            else:
+                self.consumer_keys.append((node.slice.value, node))
+        self.generic_visit(node)
+
+    def _handle_binding(
+        self, name: str, value: ast.AST, node: ast.stmt
+    ) -> None:
+        if name == "SHIPPED_PLANS" and isinstance(value, ast.Dict):
+            for key, builder in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant):
+                    self.shipped_plans[str(key.value)] = attr_chain(builder) or ""
+        elif name == "NODE_KILL_PLANS":
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    self.node_kill_plans.append((sub.value, node))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._handle_binding(target.id, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._handle_binding(node.target.id, node.value, node)
+        self.generic_visit(node)
+
+
+def check_registry(modules: list[Module]) -> list[Finding]:
+    findings: list[Finding] = []
+    collectors = []
+    for module in modules:
+        collector = _Collector(module)
+        collector.visit(module.tree)
+        collectors.append(collector)
+
+    known = set(site_registry.all_known_sites())
+    families = site_registry.family_prefixes()
+    fired_sites: set[str] = set()
+    fired_family_prefixes: set[str] = set()
+    producer_keys: set[str] = set()
+
+    # pass 1: collect + RG001/RG002/RG004
+    for c in collectors:
+        producer_keys |= c.producer_keys
+        for site, node in c.fired_literals:
+            fired_sites.add(site)
+            if not site_registry.is_known_site(site):
+                findings.append(
+                    Finding(
+                        rule="RG001",
+                        path=c.module.path,
+                        line=node.lineno,
+                        symbol=_symbol_of(c.module, node),
+                        message=(
+                            f"fire({site!r}): site is not in the "
+                            "registry (repro/faults/sites.py) — typo, "
+                            "or register it"
+                        ),
+                    )
+                )
+        for prefix, node in c.fired_prefixes:
+            trimmed = prefix.rstrip(".")
+            match = next(
+                (
+                    fam
+                    for fam in families
+                    if trimmed == fam or prefix.startswith(fam + ".")
+                ),
+                None,
+            )
+            if match is None:
+                findings.append(
+                    Finding(
+                        rule="RG002",
+                        path=c.module.path,
+                        line=node.lineno,
+                        symbol=_symbol_of(c.module, node),
+                        message=(
+                            f"fire(f{prefix + '...'!r}): literal prefix "
+                            "matches no registered site family"
+                        ),
+                    )
+                )
+            else:
+                fired_family_prefixes.add(match)
+        for pattern, node in c.rule_sites:
+            try:
+                site_registry.validate_pattern(pattern)
+            except ConfigError as exc:
+                findings.append(
+                    Finding(
+                        rule="RG004",
+                        path=c.module.path,
+                        line=node.lineno,
+                        symbol=_symbol_of(c.module, node),
+                        message=str(exc),
+                    )
+                )
+
+    # pass 2: RG003 dead sites (both directions of RG001/RG002)
+    registry_module = "src/repro/faults/sites.py"
+    for row in site_registry.SITES:
+        if row.dynamic:
+            if row.name not in fired_family_prefixes:
+                findings.append(
+                    Finding(
+                        rule="RG003",
+                        path=registry_module,
+                        line=1,
+                        message=(
+                            f"registered dynamic site family "
+                            f"{row.name!r} is never fired "
+                            f"(expected from {row.fired_by})"
+                        ),
+                    )
+                )
+            continue
+        for name in row.site_names():
+            if name in fired_sites:
+                continue
+            if row.members is not None and row.name in fired_family_prefixes:
+                continue  # family fired via f-string interpolation
+            findings.append(
+                Finding(
+                    rule="RG003",
+                    path=registry_module,
+                    line=1,
+                    message=(
+                        f"registered site {name!r} is never fired "
+                        f"(expected from {row.fired_by})"
+                    ),
+                )
+            )
+
+    # pass 3: RG005 plan bookkeeping
+    shipped: dict[str, str] = {}
+    plan_names: dict[str, str] = {}
+    for c in collectors:
+        shipped.update(c.shipped_plans)
+        plan_names.update(c.plan_names_by_builder)
+    for c in collectors:
+        for name, node in c.node_kill_plans:
+            if shipped and name not in shipped:
+                findings.append(
+                    Finding(
+                        rule="RG005",
+                        path=c.module.path,
+                        line=node.lineno,
+                        message=(
+                            f"NODE_KILL_PLANS entry {name!r} is not a "
+                            "SHIPPED_PLANS key"
+                        ),
+                    )
+                )
+    for key, builder in shipped.items():
+        built = plan_names.get(builder)
+        if built is not None and built != key:
+            findings.append(
+                Finding(
+                    rule="RG005",
+                    path=registry_module,
+                    line=1,
+                    message=(
+                        f"SHIPPED_PLANS[{key!r}] builds a plan named "
+                        f"{built!r}; chaos reports and suppressions "
+                        "will disagree"
+                    ),
+                )
+            )
+
+    # pass 4: RG006 CLI consumer keys vs producer universe
+    for c in collectors:
+        if not c.module.path.endswith("cli.py"):
+            continue
+        for key, node in c.consumer_keys:
+            if key in producer_keys:
+                continue
+            findings.append(
+                Finding(
+                    rule="RG006",
+                    path=c.module.path,
+                    line=getattr(node, "lineno", 1),
+                    symbol=_symbol_of(c.module, node),
+                    message=(
+                        f"CLI references key {key!r} that no metrics/"
+                        "report producer in the tree defines"
+                    ),
+                )
+            )
+    return findings

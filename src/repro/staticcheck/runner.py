@@ -1,0 +1,123 @@
+"""Orchestration: load the tree once, run the four checkers, report.
+
+``python -m repro staticcheck`` lands here. The runner is a pure
+function from (paths, baseline) to a :class:`StaticCheckReport`; the
+CLI renders it as a table and exits non-zero on any unsuppressed
+finding, which is what gates CI ahead of the chaos/bench jobs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.staticcheck import determinism, persist, registry, yieldrace
+from repro.staticcheck.callgraph import compute_may_yield
+from repro.staticcheck.model import (
+    Finding,
+    Module,
+    RULES,
+    build_index,
+    load_modules,
+)
+from repro.staticcheck.suppress import Baseline, Suppression, load_baseline
+
+__all__ = ["StaticCheckReport", "run_staticcheck", "DEFAULT_BASELINE"]
+
+DEFAULT_BASELINE = "staticcheck.toml"
+
+#: checker key -> callable run order (stable for reports)
+CHECKERS = ("persist", "yieldrace", "determinism", "registry")
+
+
+@dataclass
+class StaticCheckReport:
+    findings: list[Finding] = field(default_factory=list)  # unsuppressed
+    suppressed: list[Finding] = field(default_factory=list)
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+    modules_scanned: int = 0
+    functions_scanned: int = 0
+    elapsed_s: float = 0.0
+    baseline_path: str = ""
+    per_checker: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "modules_scanned": self.modules_scanned,
+            "functions_scanned": self.functions_scanned,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "baseline": self.baseline_path,
+            "rules": dict(RULES),
+            "per_checker_raw_findings": dict(self.per_checker),
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "unused_suppressions": [
+                {"rule": s.rule, "path": s.path, "reason": s.reason}
+                for s in self.unused_suppressions
+            ],
+        }
+
+
+def run_staticcheck(
+    root: str = "src/repro",
+    *,
+    baseline: Optional[str] = DEFAULT_BASELINE,
+    rules: Optional[set[str]] = None,
+    rel_to: Optional[str] = None,
+) -> StaticCheckReport:
+    """Run every checker over the tree rooted at ``root``.
+
+    ``baseline`` names a ``staticcheck.toml`` (None or a missing
+    default path means no suppressions). ``rules`` restricts output to
+    rule-id prefixes (e.g. ``{"PO", "DT003"}``).
+    """
+    # Wall clock here is reporting-only (the <30s budget in CI), never
+    # fed back into any analysis decision.
+    t0 = time.perf_counter()
+    modules = load_modules(root, rel_to=rel_to)
+    index = build_index(modules)
+    yields = compute_may_yield(index)
+
+    raw: list[Finding] = []
+    per_checker: dict[str, int] = {}
+    for name, result in (
+        ("persist", persist.check_persist_ordering(modules, index)),
+        ("yieldrace", yieldrace.check_yield_races(modules, index, yields)),
+        ("determinism", determinism.check_determinism(modules)),
+        ("registry", registry.check_registry(modules)),
+    ):
+        per_checker[name] = len(result)
+        raw.extend(result)
+
+    if rules:
+        raw = [
+            f
+            for f in raw
+            if any(f.rule == r or f.rule.startswith(r) for r in rules)
+        ]
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    base = Baseline()
+    baseline_path = ""
+    if baseline is not None and os.path.exists(baseline):
+        base = load_baseline(baseline)
+        baseline_path = baseline
+    live, quiet = base.filter(raw)
+
+    return StaticCheckReport(
+        findings=live,
+        suppressed=quiet,
+        unused_suppressions=base.unused(),
+        modules_scanned=len(modules),
+        functions_scanned=len(index.functions),
+        elapsed_s=time.perf_counter() - t0,
+        baseline_path=baseline_path,
+        per_checker=per_checker,
+    )

@@ -1,0 +1,331 @@
+"""YP: yield-point race detector for cooperative sim processes.
+
+In generator-based cooperative concurrency, the race surface is
+exactly the set of explicit yield points: between a ``yield`` (or a
+``yield from`` of a may-yield helper — see
+:mod:`repro.staticcheck.callgraph`) and the resume, *any* other process
+may run and mutate shared state. The classic bug is a read-modify-write
+that straddles one:
+
+    head = pool.head          # read shared
+    yield from device.persist(...)   # another process may allocate!
+    pool.head = head + size   # publish stale value
+
+**YP001** flags a store to a shared attribute path whose right-hand
+side uses a local that was read from that same path *before* the most
+recent yield point, with no re-read of the path after resuming.
+
+Sharedness is syntactic: attribute paths rooted at a function
+parameter (``self``, ``part``, ``server`` ...), or at a local that
+aliases one (``pool = self.pools[i]`` makes ``pool.*`` shared).
+Locals themselves are process-private (each process owns its stack) and
+are never flagged. Augmented assigns (``pool.head += n``) are atomic
+within a step and safe unless their own RHS holds a stale read.
+
+Re-validation resets tracking: re-reading the path after the yield, or
+calling a method on the path's root object whose name suggests a
+refresh (``read*``/``lookup*``/``refresh*``/``reload*``), clears
+staleness for that root.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.callgraph import YieldSummary, yield_from_target
+from repro.staticcheck.model import (
+    Finding,
+    FunctionIndex,
+    FunctionInfo,
+    Module,
+    attr_chain,
+    call_tail,
+)
+
+__all__ = ["check_yield_races"]
+
+_REVALIDATE_PREFIXES = ("read", "lookup", "refresh", "reload", "check")
+
+
+@dataclass
+class _VarFact:
+    """A local bound from a shared read."""
+
+    source_path: str  # the shared attribute path it was read from
+    epoch: int  # yield-epoch at bind time
+
+
+@dataclass
+class _Scope:
+    epoch: int = 0
+    #: local name -> fact (only locals read from shared paths)
+    stale_reads: dict[str, _VarFact] = field(default_factory=dict)
+    #: shared path -> epoch of its most recent read
+    path_read_epoch: dict[str, int] = field(default_factory=dict)
+    #: local name -> shared path it aliases (pool = self.pools[i])
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def copy(self) -> "_Scope":
+        return _Scope(
+            self.epoch,
+            dict(self.stale_reads),
+            dict(self.path_read_epoch),
+            dict(self.aliases),
+        )
+
+    @staticmethod
+    def join(scopes: list["_Scope"]) -> "_Scope":
+        out = scopes[0].copy()
+        for other in scopes[1:]:
+            out.epoch = max(out.epoch, other.epoch)
+            # keep a fact only if identical in all branches; otherwise
+            # keep the *older* epoch (more conservative: more stale)
+            for name, fact in other.stale_reads.items():
+                cur = out.stale_reads.get(name)
+                if cur is None or fact.epoch < cur.epoch:
+                    out.stale_reads[name] = fact
+            for path, ep in other.path_read_epoch.items():
+                cur_ep = out.path_read_epoch.get(path)
+                out.path_read_epoch[path] = (
+                    ep if cur_ep is None else min(cur_ep, ep)
+                )
+            out.aliases.update(other.aliases)
+        return out
+
+
+class _RaceChecker:
+    def __init__(
+        self,
+        info: FunctionInfo,
+        yields: YieldSummary,
+        findings: list[Finding],
+    ) -> None:
+        self.info = info
+        self.yields = yields
+        self.findings = findings
+        args = info.node.args
+        self.params = {
+            a.arg
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        }
+
+    # -- shared-path resolution ----------------------------------------------
+    def shared_path(self, node: ast.AST, scope: _Scope) -> str | None:
+        """Canonical shared path for an attribute chain, or None.
+
+        ``self.pool.head`` -> ``"self.pool.head"``;
+        ``pool.head`` with ``pool`` aliasing ``self.pools[i]`` ->
+        ``"self.pools[?].head"``-style expansion via the alias table.
+        """
+        chain = attr_chain(node)
+        if chain is None:
+            return None
+        root, _, rest = chain.partition(".")
+        if root in self.params:
+            return chain
+        alias = scope.aliases.get(root)
+        if alias is not None:
+            return f"{alias}.{rest}" if rest else alias
+        return None
+
+    def alias_target(self, value: ast.AST, scope: _Scope) -> str | None:
+        """Shared path a bound expression aliases (attr/subscript chain
+        rooted at a param or existing alias), for assignments like
+        ``pool = self.pools[i]`` / ``part = server.partitions[pid]``."""
+        # strip trailing subscripts: self.pools[i] -> self.pools[?]
+        suffix = ""
+        node = value
+        while isinstance(node, ast.Subscript):
+            node = node.value
+            suffix = "[?]" + suffix
+        path = self.shared_path(node, scope)
+        if path is None:
+            return None
+        return path + suffix
+
+    # -- walk ---------------------------------------------------------------
+    def run(self) -> None:
+        self.walk_body(self.info.node.body, _Scope())
+
+    def walk_body(self, body: list[ast.stmt], scope: _Scope) -> _Scope:
+        for stmt in body:
+            scope = self.walk_stmt(stmt, scope)
+        return scope
+
+    def walk_stmt(self, stmt: ast.stmt, scope: _Scope) -> _Scope:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return scope
+        if isinstance(stmt, ast.If):
+            self.scan_reads(stmt.test, scope)
+            then = self.walk_body(stmt.body, scope.copy())
+            other = self.walk_body(stmt.orelse, scope.copy())
+            return _Scope.join([then, other])
+        if isinstance(stmt, ast.While):
+            self.scan_reads(stmt.test, scope)
+            body = self.walk_body(stmt.body, scope.copy())
+            # second pass over the body from the joined state models the
+            # back edge: a read in iteration N feeding a store after the
+            # yield in iteration N+1 is still a straddle
+            again = self.walk_body(stmt.body, _Scope.join([scope, body]).copy())
+            done = self.walk_body(stmt.orelse, again)
+            return _Scope.join([scope, done])
+        if isinstance(stmt, ast.For):
+            self.scan_reads(stmt.iter, scope)
+            self.kill_targets(stmt.target, scope)
+            body = self.walk_body(stmt.body, scope.copy())
+            again = self.walk_body(stmt.body, _Scope.join([scope, body]).copy())
+            done = self.walk_body(stmt.orelse, again)
+            return _Scope.join([scope, done])
+        if isinstance(stmt, ast.Try):
+            body = self.walk_body(stmt.body, scope.copy())
+            states = [body]
+            for handler in stmt.handlers:
+                states.append(self.walk_body(handler.body, scope.copy()))
+            merged = _Scope.join(states)
+            merged = self.walk_body(stmt.orelse, merged)
+            return self.walk_body(stmt.finalbody, merged)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.scan_reads(item.context_expr, scope)
+            return self.walk_body(stmt.body, scope)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return self.walk_assign(stmt, scope)
+        if isinstance(stmt, ast.AugAssign):
+            # atomic within a step; only stale RHS locals are a hazard
+            self.scan_reads(stmt.value, scope)
+            self.check_store(stmt.target, stmt.value, stmt, scope)
+            return scope
+        # expression statements (incl. bare yields), return, etc.
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                self.scan_reads(node, scope)
+        return scope
+
+    def walk_assign(
+        self, stmt: ast.Assign | ast.AnnAssign, scope: _Scope
+    ) -> _Scope:
+        value = stmt.value
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        if value is not None:
+            self.scan_reads(value, scope)
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                self.bind_local(target.id, value, scope)
+            elif isinstance(target, ast.Attribute):
+                self.check_store(target, value, stmt, scope)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        scope.stale_reads.pop(elt.id, None)
+                        scope.aliases.pop(elt.id, None)
+                    elif isinstance(elt, ast.Attribute):
+                        self.check_store(elt, value, stmt, scope)
+        return scope
+
+    def bind_local(self, name: str, value: ast.AST, scope: _Scope) -> None:
+        scope.stale_reads.pop(name, None)
+        scope.aliases.pop(name, None)
+        src = self.shared_path(value, scope)
+        if src is not None:
+            scope.stale_reads[name] = _VarFact(src, scope.epoch)
+            scope.path_read_epoch[src] = scope.epoch
+            return
+        alias = self.alias_target(value, scope)
+        if alias is not None:
+            scope.aliases[name] = alias
+
+    def kill_targets(self, target: ast.AST, scope: _Scope) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                scope.stale_reads.pop(node.id, None)
+                scope.aliases.pop(node.id, None)
+
+    # -- reads / yields ------------------------------------------------------
+    def scan_reads(self, node: ast.AST, scope: _Scope) -> None:
+        """Note shared-path reads and advance the epoch at yields, in a
+        best-effort left-to-right order."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.YieldFrom):
+                if self.yields.call_may_yield(yield_from_target(sub)):
+                    scope.epoch += 1
+            elif isinstance(sub, ast.Yield):
+                scope.epoch += 1
+            elif isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                path = self.shared_path(sub, scope)
+                if path is not None:
+                    scope.path_read_epoch[path] = scope.epoch
+            elif isinstance(sub, ast.Call):
+                tail = call_tail(sub)
+                if tail is not None and tail.startswith(_REVALIDATE_PREFIXES):
+                    # method call that re-reads state from its receiver:
+                    # treat every path under the receiver as re-read
+                    recv = (
+                        self.shared_path(sub.func.value, scope)
+                        if isinstance(sub.func, ast.Attribute)
+                        else None
+                    )
+                    if recv is not None:
+                        for path in scope.path_read_epoch:
+                            if path.startswith(recv):
+                                scope.path_read_epoch[path] = scope.epoch
+
+    # -- the rule ------------------------------------------------------------
+    def check_store(
+        self,
+        target: ast.Attribute,
+        value: ast.AST | None,
+        stmt: ast.stmt,
+        scope: _Scope,
+    ) -> None:
+        if value is None:
+            return
+        path = self.shared_path(target, scope)
+        if path is None:
+            return
+        for sub in ast.walk(value):
+            if not (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)):
+                continue
+            fact = scope.stale_reads.get(sub.id)
+            if fact is None or fact.source_path != path:
+                continue
+            if fact.epoch >= scope.epoch:
+                continue  # no yield since the read
+            if scope.path_read_epoch.get(path, -1) >= scope.epoch:
+                continue  # re-validated after resuming
+            self.findings.append(
+                Finding(
+                    rule="YP001",
+                    path=self.info.module.path,
+                    line=stmt.lineno,
+                    symbol=self.info.qualname,
+                    message=(
+                        f"store to shared {path!r} uses {sub.id!r} read "
+                        "before a yield point; another process may have "
+                        "mutated it (re-read after resuming or move the "
+                        "store before the yield)"
+                    ),
+                )
+            )
+            return
+
+
+def check_yield_races(
+    modules: list[Module], index: FunctionIndex, yields: YieldSummary
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for info in index.functions:
+        if not info.is_generator:
+            continue  # only sim processes can be descheduled
+        _RaceChecker(info, yields, findings).run()
+    return findings

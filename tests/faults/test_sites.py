@@ -1,0 +1,73 @@
+"""The generated fault-site registry (single source of truth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plans import shipped_plan, shipped_plan_names
+from repro.faults.sites import (
+    SITES,
+    all_known_sites,
+    crash_matrix_sites,
+    family_prefixes,
+    is_known_site,
+    validate_pattern,
+)
+from repro.harness.crashmatrix import DEFAULT_SITES
+
+
+def test_crash_matrix_order_is_the_legacy_tuple():
+    # DEFAULT_SITES order is part of the bit-identical report surface;
+    # the registry must reproduce the pre-registry hardcoded tuple.
+    assert DEFAULT_SITES == crash_matrix_sites() == (
+        "nvm.store64",
+        "nvm.flush",
+        "nvm.persist",
+        "rpc.dispatch",
+        "bg.verifier",
+        "bg.cleaner.compress",
+        "bg.cleaner.merge",
+        "bg.cleaner.finish",
+    )
+
+
+def test_registry_is_internally_consistent():
+    names = list(all_known_sites())
+    assert len(names) == len(set(names)), "duplicate site names"
+    for row in SITES:
+        assert row.fired_by and row.description
+        if row.members is not None:
+            assert not row.dynamic
+            for member in row.site_names():
+                assert member.startswith(row.name + ".")
+    assert "bg.cleaner" in family_prefixes()
+    assert "cluster" in family_prefixes()
+
+
+def test_known_site_lookup():
+    assert is_known_site("nvm.persist")
+    assert is_known_site("qp.write")
+    assert is_known_site("bg.cleaner.merge")
+    assert not is_known_site("nvm.presist")
+    assert not is_known_site("qp.writee")
+
+
+def test_validate_pattern_accepts_wildcards_and_dynamic_families():
+    validate_pattern("*")
+    validate_pattern("qp.*")
+    validate_pattern("cluster.node0")  # dynamic family member
+    validate_pattern("bg.cleaner.compress")
+
+
+@pytest.mark.parametrize("bad", ["nvm.presist", "qp.writee", "zz.*"])
+def test_validate_pattern_rejects_unknown(bad):
+    with pytest.raises(ConfigError):
+        validate_pattern(bad)
+
+
+def test_every_shipped_plan_validates_against_the_registry():
+    for name in shipped_plan_names():
+        plan = shipped_plan(name)
+        for rule in plan.rules:
+            validate_pattern(rule.site, context=f"plan {plan.name!r}")

@@ -1,0 +1,49 @@
+# ruff: noqa — deliberately-buggy fixture, parsed by the analyzers, never imported
+"""Seeded persist-ordering bugs (PO001/PO002). Parsed, never imported."""
+
+
+class BadStore:
+    def publish_unpersisted(self, pool, table, entry_off, loc):
+        # PO001: write -> publish with no persist barrier at all
+        pool.write(loc.offset, b"header")
+        table.publish_object(entry_off, loc)
+
+    def publish_on_one_path(self, pool, table, entry_off, loc, fast):
+        # PO001: persist only on the slow path; fast path publishes dirty
+        pool.write(loc.offset, b"header")
+        if not fast:
+            yield from self.persist_object(loc)
+        table.publish_object(entry_off, loc)
+
+    def atomic_store_unpersisted(self, pool, device, loc):
+        # PO001: 8-byte atomic publish of an unpersisted header
+        pool.write(loc.offset, b"header")
+        device.write_atomic64(loc.offset, b"\x00" * 8)
+
+    def _handle_put(self, msg, part, loc):
+        # PO002: acks the client while the value is volatile
+        yield from part.device.copy_in(loc.offset, msg.payload["value"])
+        return {"ok": True}, 64
+
+    # -- finding-free counterparts (pin the no-false-positive behaviour) --
+
+    def ok_persist_then_publish(self, pool, table, entry_off, loc):
+        pool.write(loc.offset, b"header")
+        yield from self.persist_object(loc)
+        table.publish_object(entry_off, loc)
+
+    def _handle_ok_persists(self, msg, part, loc):
+        yield from part.device.copy_in(loc.offset, msg.payload["value"])
+        yield from part.persist_object(loc)
+        return {"ok": True}, 64
+
+    def _handle_error_reply(self, msg, part, loc):
+        # nack promises nothing: rpc_error returns are exempt
+        yield from part.device.copy_in(loc.offset, msg.payload["value"])
+        return rpc_error("full"), 64
+
+    def ok_file_write(self, path, payload):
+        # fh.write is a file handle, not NVM
+        with open(path, "w") as fh:
+            fh.write(payload)
+        return True

@@ -1,0 +1,28 @@
+# ruff: noqa — deliberately-buggy fixture, parsed by the analyzers, never imported
+"""Seeded site/plan registry mismatches (RG*). Parsed, never imported."""
+
+
+def chaos_hook(injector, stage):
+    injector.fire("nvm.presist")  # RG001: typo'd site
+    injector.fire(f"zz.cleaner.{stage}")  # RG002: unknown family
+    injector.fire("nvm.persist")  # known: no finding
+
+
+def bad_rule_plan():
+    return FaultPlan(
+        "bad-rule-plan",
+        rules=(FaultRule(site="qp.writee", kind="drop"),),  # RG004
+    )
+
+
+def misnamed_plan():
+    # RG005: shipped under "listed-name" but constructs "actual-name"
+    return FaultPlan("actual-name", rules=())
+
+
+SHIPPED_PLANS = {
+    "bad-rule-plan": bad_rule_plan,
+    "listed-name": misnamed_plan,
+}
+
+NODE_KILL_PLANS = ("missing-plan",)  # RG005: not a SHIPPED_PLANS key

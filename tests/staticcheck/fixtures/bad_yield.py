@@ -1,0 +1,58 @@
+# ruff: noqa — deliberately-buggy fixture, parsed by the analyzers, never imported
+"""Seeded yield-straddling RMW races (YP001). Parsed, never imported."""
+
+
+def racy_alloc(env, pool, size):
+    # YP001: head read before the yield publishes a stale bump after it
+    head = pool.head
+    yield env.timeout(1)
+    pool.head = head + size
+
+
+def racy_alias(env, self, size):
+    # YP001 through an alias: pool names self.pools[0]
+    pool = self.pools[0]
+    head = pool.head
+    yield from self.device.persist(0, 8)
+    pool.head = head + size
+
+
+def racy_augassign(env, part, n):
+    # YP001: += is atomic, but its RHS carries the stale read
+    shipped = part.shipped
+    yield env.timeout(1)
+    part.shipped += shipped + n
+
+
+# -- finding-free counterparts (pin the no-false-positive behaviour) --
+
+
+def ok_reread(env, pool, size):
+    head = pool.head
+    yield env.timeout(1)
+    head = pool.head  # re-validated after resuming
+    pool.head = head + size
+
+
+def ok_store_before_yield(env, pool, size):
+    head = pool.head
+    pool.head = head + size  # no yield in between
+    yield env.timeout(1)
+
+
+def ok_local_only(env, n):
+    # locals are process-private; never flagged
+    total = 0
+    for i in range(n):
+        total = total + i
+        yield env.timeout(1)
+    return total
+
+
+def ok_nonyielding_helper(env, pool, size):
+    # yield from of a known non-yielding data generator: no epoch bump
+    head = pool.head
+    names = list(site_names(pool))
+    pool.head = head + size
+    yield env.timeout(1)
+    return names

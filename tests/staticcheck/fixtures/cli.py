@@ -1,0 +1,11 @@
+# ruff: noqa — deliberately-buggy fixture, parsed by the analyzers, never imported
+"""Seeded CLI/metrics key mismatch (RG006). Parsed, never imported.
+
+Named ``cli.py`` because the consumer-key rule only applies to CLI
+table renderers.
+"""
+
+
+def render_row(res):
+    produced = {"shipped_records": res.count}
+    return produced["shipped_records"], res["no_such_metric_key"]  # RG006

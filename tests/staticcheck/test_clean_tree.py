@@ -1,0 +1,69 @@
+"""The committed tree passes its own static analysis (CI gate)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main
+from repro.staticcheck import run_staticcheck
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+SRC = os.path.join(REPO, "src", "repro")
+BASELINE = os.path.join(REPO, "staticcheck.toml")
+
+
+def test_tree_is_clean_under_reviewed_baseline():
+    rep = run_staticcheck(SRC, baseline=BASELINE, rel_to=REPO)
+    assert rep.ok, "\n".join(f.render() for f in rep.findings)
+    # every waiver in the baseline still matches something: stale
+    # suppressions would silently mask future regressions
+    assert rep.unused_suppressions == [], [
+        (s.rule, s.path) for s in rep.unused_suppressions
+    ]
+    assert set(rep.per_checker) == {
+        "persist",
+        "yieldrace",
+        "determinism",
+        "registry",
+    }
+    assert rep.modules_scanned > 50
+    assert rep.elapsed_s < 30  # the CI budget
+
+
+def test_cli_staticcheck_ok(tmp_path, capsys):
+    out = tmp_path / "sc.json"
+    status = main(
+        [
+            "staticcheck",
+            "--root",
+            SRC,
+            "--baseline",
+            BASELINE,
+            "--strict-baseline",
+            "--json",
+            str(out),
+        ]
+    )
+    assert status == 0
+    text = capsys.readouterr().out
+    assert "OK: no unsuppressed findings" in text
+    data = json.loads(out.read_text())
+    assert data["ok"] is True
+    assert set(data["per_checker_raw_findings"]) == {
+        "persist",
+        "yieldrace",
+        "determinism",
+        "registry",
+    }
+    assert data["unused_suppressions"] == []
+
+
+def test_cli_staticcheck_fails_on_findings(tmp_path, capsys):
+    fixtures = os.path.join(HERE, "fixtures")
+    status = main(
+        ["staticcheck", "--root", fixtures, "--no-baseline", "--rules", "PO"]
+    )
+    assert status == 1
+    assert "FAIL" in capsys.readouterr().out
