@@ -60,6 +60,7 @@ from repro.rdma.fabric import Fabric, Node
 from repro.rdma.mr import MemoryRegion
 from repro.rdma.qp import Endpoint
 from repro.rdma.rpc import (
+    ERR_BUSY,
     ERR_FENCED,
     RpcClient,
     RpcFault,
@@ -77,6 +78,7 @@ __all__ = [
     "ClientSession",
     "BaseServer",
     "BaseClient",
+    "busy_error",
     "PUT_REQUEST_OVERHEAD",
     "GET_REQUEST_OVERHEAD",
     "RESPONSE_BYTES",
@@ -160,6 +162,15 @@ class StoreConfig:
     # online media scrubbing (0 = disabled; see repro.core.scrub)
     scrub_interval_ns: float = 0.0
 
+    # admission control (0 = disabled; see DESIGN.md §15)
+    #: Per-partition concurrent-request watermark: a control RPC
+    #: arriving while this many admitted requests are already in flight
+    #: on its partition is shed at handler entry with retryable
+    #: ``ERR_BUSY`` instead of queueing behind the dispatch budget. The
+    #: client's retry backoff (PR 2 machinery) is the congestion-control
+    #: loop. 0 keeps every request path bit-identical to the seed.
+    admission_watermark: int = 0
+
     # self-healing integrity tier (see repro.integrity)
     #: XOR-parity stripe size in KiB over each log pool; 0 disables the
     #: parity/ledger tier entirely (bit-identical legacy layout).
@@ -186,6 +197,8 @@ class StoreConfig:
             raise ConfigError("num_partitions must be >= 1")
         if self.scrub_interval_ns < 0:
             raise ConfigError("scrub_interval_ns must be >= 0")
+        if self.admission_watermark < 0:
+            raise ConfigError("admission_watermark must be >= 0")
         if self.bg_batch < 1:
             raise ConfigError("bg_batch must be >= 1")
         if self.parity_stripe_kb < 0:
@@ -450,6 +463,8 @@ class BaseServer:
                 ),
                 RESPONSE_BYTES,
             )
+        if not part.try_admit():
+            return busy_error(part), RESPONSE_BYTES
         budget = yield from part.acquire_budget()
         try:
             try:
@@ -471,6 +486,7 @@ class BaseServer:
             )
         finally:
             part.release_budget(budget)
+            part.depart()
 
     # -- the coalesced allocation path (put_many, one SEND for N allocs) -------
     def _handle_alloc_batch(
@@ -498,6 +514,13 @@ class BaseServer:
                     f"partition {part.part_id} is write-fenced (migrating)",
                     code=ERR_FENCED,
                 )
+                for idx in indexes:
+                    results[idx] = err
+                continue
+            if not part.try_admit():
+                # The whole partition group is shed as one unit — it
+                # would have ridden one budget acquisition anyway.
+                err = busy_error(part)
                 for idx in indexes:
                     results[idx] = err
                 continue
@@ -530,6 +553,7 @@ class BaseServer:
                     }
             finally:
                 part.release_budget(budget)
+                part.depart()
         nbytes = RESPONSE_BYTES + BATCH_RESPONSE_ITEM_BYTES * max(0, len(reqs) - 1)
         return {"results": results}, nbytes
 
@@ -1039,3 +1063,12 @@ class BaseClient:
 
 def _align(n: int, a: int) -> int:
     return (n + a - 1) & ~(a - 1)
+
+
+def busy_error(part: Partition) -> dict:
+    """The retryable shed response (admission control, DESIGN.md §15)."""
+    return rpc_error(
+        f"partition {part.part_id} over admission watermark "
+        f"({part.inflight} in flight)",
+        code=ERR_BUSY,
+    )

@@ -115,6 +115,52 @@ class Partition:
         self.cpu: Optional[Resource] = (
             Resource(server.env, capacity=cpu_budget) if cpu_budget else None
         )
+        # -- admission control (config.admission_watermark > 0) --------
+        #: Requests admitted and not yet departed (handler in flight).
+        self.inflight = 0
+        #: High-water mark of :attr:`inflight` (load metric).
+        self.peak_inflight = 0
+        #: Requests admitted / shed with ERR_BUSY since server start.
+        self.admitted_requests = 0
+        self.shed_requests = 0
+
+    # -- admission control ----------------------------------------------------
+    def try_admit(self) -> bool:
+        """Admission decision at handler entry (instant, no events).
+
+        With the watermark disabled (0, the default) this is a bare
+        ``return True`` — no counters move, no injection site fires, so
+        every existing run stays bit-identical. Enabled, a request over
+        the watermark is shed (the handler answers retryable
+        ``ERR_BUSY``); admitted requests must be balanced with
+        :meth:`depart`.
+        """
+        wm = self.config.admission_watermark
+        if wm == 0:
+            return True
+        inj = self.server.fabric.injector
+        if inj is not None:
+            act = inj.fire("admission.enter")
+            if act is not None and act.kind == "admission_shed":
+                # Chaos-forced shed: exercises the client backoff loop
+                # without needing real overload.
+                self.shed_requests += 1
+                return False
+        if self.inflight >= wm:
+            self.shed_requests += 1
+            if inj is not None:
+                inj.fire("admission.shed")
+            return False
+        self.inflight += 1
+        self.admitted_requests += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+        return True
+
+    def depart(self) -> None:
+        """Balance a successful :meth:`try_admit` at handler exit."""
+        if self.config.admission_watermark:
+            self.inflight -= 1
 
     @property
     def config(self):

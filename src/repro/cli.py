@@ -179,10 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--suite",
         default="amortization",
-        choices=["amortization", "cluster", "parity"],
+        choices=["amortization", "cluster", "parity", "load"],
         help="amortization = the PR-5 hot-path cells; cluster = "
         "replication-factor scaling, failover time, migration throughput; "
-        "parity = PUT throughput with the integrity tier off vs. on",
+        "parity = PUT throughput with the integrity tier off vs. on; "
+        "load = thousand-client open-loop cells with completion batching "
+        "off vs. on",
     )
     bench_p.add_argument("--ops", type=int, default=256)
     bench_p.add_argument("--value-size", type=int, default=64)
@@ -194,11 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, default=3, help="cluster suite: node count"
     )
     bench_p.add_argument(
+        "--clients", type=int, default=1000,
+        help="load suite: open-loop client count",
+    )
+    bench_p.add_argument(
+        "--ops-per-client", type=int, default=40,
+        help="load suite: scheduled ops per client",
+    )
+    bench_p.add_argument(
         "--out",
         metavar="PATH",
         default=None,
         help="JSON output path (default: BENCH_pr5.json, BENCH_pr7.json "
-        "for --suite cluster, BENCH_pr8.json for --suite parity)",
+        "for --suite cluster, BENCH_pr8.json for --suite parity, "
+        "BENCH_pr10.json for --suite load)",
     )
 
     bk_p = sub.add_parser(
@@ -226,6 +237,47 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_pr6.json",
         help="JSON output path (default: BENCH_pr6.json)",
     )
+
+    lg_p = sub.add_parser(
+        "loadgen",
+        help="open-loop multi-tenant load engine (thousand-client scale)",
+    )
+    lg_p.add_argument(
+        "--store", default="efactory", choices=store_names()
+    )
+    lg_p.add_argument("--mix", default="YCSB-B", choices=list(WORKLOADS))
+    lg_p.add_argument("--clients", type=int, default=64)
+    lg_p.add_argument(
+        "--ops", type=int, default=40, help="scheduled ops per client"
+    )
+    lg_p.add_argument(
+        "--rate", type=float, default=None,
+        help="aggregate offered rate in ops/s (default: 2000 per client)",
+    )
+    lg_p.add_argument("--slo-us", type=float, default=25.0)
+    lg_p.add_argument(
+        "--curve", default="constant",
+        choices=["constant", "diurnal", "burst"],
+    )
+    lg_p.add_argument(
+        "--tenants", type=int, default=1,
+        help="split the client population into N equal tenants",
+    )
+    lg_p.add_argument(
+        "--admission", type=int, default=0, metavar="WATERMARK",
+        help="per-partition admission watermark (0 = off)",
+    )
+    lg_p.add_argument(
+        "--no-batching", action="store_true",
+        help="disable cross-client completion batching",
+    )
+    lg_p.add_argument("--bucket-ns", type=float, default=256.0)
+    lg_p.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="rotate each client's hot set every N draws (0 = off)",
+    )
+    lg_p.add_argument("--seed", type=int, default=42)
+    lg_p.add_argument("--json", metavar="PATH", default=None)
 
     sc_p = sub.add_parser(
         "staticcheck",
@@ -581,6 +633,47 @@ def _cmd_bench(args: argparse.Namespace) -> tuple[str, Any]:
         run_parity_bench_suite,
     )
 
+    if args.suite == "load":
+        from repro.loadgen.bench import run_load_bench_suite
+
+        out = args.out or "BENCH_pr10.json"
+        payload = run_load_bench_suite(
+            clients=args.clients, ops_per_client=args.ops_per_client
+        )
+        table = Table(
+            ["cell", "tenant", "kops", "p50", "p99", "p999", "slo%", "goodput/s"]
+        )
+        for cell, d in payload["cells"].items():
+            for t in d["tenants"]:
+                table.add(
+                    cell,
+                    t["name"],
+                    f"{t['throughput_kops']:.0f}",
+                    fmt_ns(t["p50_ns"]),
+                    fmt_ns(t["p99_ns"]),
+                    fmt_ns(t["p999_ns"]),
+                    f"{t['slo_fraction'] * 100.0:.1f}",
+                    f"{t['goodput_ops_s']:.0f}",
+                )
+        comp = payload["batching_comparison"]
+        extra = (
+            f"\ncompletion batching on {comp['cell']}: "
+            f"events/op {comp['off']['events_per_op']:.2f} -> "
+            f"{comp['on']['events_per_op']:.2f} "
+            f"(ratio {comp['events_per_op_ratio']:.3f}), "
+            f"wall speedup {comp['wall_speedup']:.2f}x"
+        )
+        title = "Open-loop load cells"
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        text = (
+            banner(title)
+            + "\n"
+            + table.render()
+            + extra
+            + f"\n(json written to {out})"
+        )
+        return text, payload
     if args.suite == "parity":
         out = args.out or "BENCH_pr8.json"
         payload = run_parity_bench_suite(
@@ -659,6 +752,83 @@ def _cmd_bench(args: argparse.Namespace) -> tuple[str, Any]:
         + f"\n(json written to {out})"
     )
     return text, payload
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> tuple[str, Any]:
+    from repro.loadgen import ArrivalCurve, LoadSpec, TenantSpec, run_load
+
+    rate = args.rate if args.rate is not None else 2_000.0 * args.clients
+    curve = ArrivalCurve(kind=args.curve)
+    workload_factory = WORKLOADS[args.mix]
+    n_tenants = max(1, args.tenants)
+    per = args.clients // n_tenants
+    tenants = []
+    for i in range(n_tenants):
+        clients = per + (1 if i < args.clients % n_tenants else 0)
+        if clients == 0:
+            continue
+        tenants.append(
+            TenantSpec(
+                name=args.mix if n_tenants == 1 else f"{args.mix}-t{i}",
+                workload=workload_factory(),
+                clients=clients,
+                ops_per_client=args.ops,
+                rate_ops_s=rate * clients / args.clients,
+                slo_ns=args.slo_us * 1_000.0,
+                curve=curve,
+            )
+        )
+    spec = LoadSpec(
+        tenants=tuple(tenants),
+        store=args.store,
+        seed=args.seed,
+        completion_batching=not args.no_batching,
+        batch_bucket_ns=args.bucket_ns,
+        admission_watermark=args.admission,
+        churn_rotate_every=args.churn,
+    )
+    report = run_load(spec)
+    payload = report.as_dict()
+    table = Table(
+        ["tenant", "clients", "ops", "err", "kops", "p50", "p99", "p999",
+         "slo%", "goodput/s"]
+    )
+    for t in report.tenants:
+        table.add(
+            t.name,
+            str(t.clients),
+            str(t.ops),
+            str(t.errors),
+            f"{t.throughput_kops:.0f}",
+            fmt_ns(t.p50_ns),
+            fmt_ns(t.p99_ns),
+            fmt_ns(t.p999_ns),
+            f"{t.slo_fraction * 100.0:.1f}",
+            f"{t.goodput_ops_s:.0f}",
+        )
+    lines = [
+        banner(f"Open-loop load: {report.clients} clients on {report.store}"),
+        table.render(),
+        f"events/op {report.events_per_op:.2f}"
+        + (
+            f"  batches {report.sim['batches']}"
+            f"  batched waits {report.sim['batched_waits']}"
+            if "batches" in report.sim
+            else ""
+        ),
+    ]
+    if report.admission is not None:
+        a = report.admission
+        lines.append(
+            f"admission: watermark {a['watermark']}  admitted {a['admitted']}"
+            f"  shed {a['shed']}  peak inflight {a['peak_inflight']}"
+        )
+    if report.resilience["enabled"]:
+        r = report.resilience
+        lines.append(
+            f"resilience: retries {r['retries']}  gave up {r['gave_up']}"
+        )
+    return "\n".join(lines), payload
 
 
 def _cmd_bench_kernel(args: argparse.Namespace) -> tuple[str, Any, int]:
@@ -790,6 +960,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _cmd_bench(args)
     elif args.command == "bench-kernel":
         text, payload, status = _cmd_bench_kernel(args)
+    elif args.command == "loadgen":
+        text, payload = _cmd_loadgen(args)
     elif args.command == "staticcheck":
         text, payload, status = _cmd_staticcheck(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -23,6 +23,7 @@ from repro.baselines.base import (
     ObjectLocation,
     Partition,
     RESPONSE_BYTES,
+    busy_error,
 )
 from repro.core.background import BackgroundVerifier, VerifierGroup
 from repro.core.scrub import Scrubber, ScrubberGroup
@@ -111,6 +112,16 @@ class EFactoryServer(BaseServer):
                 "events_per_op": processed / total_ops if total_ops else 0,
             },
         }
+        if self.config.admission_watermark > 0:
+            # Only present when the knob is on, so every legacy metrics
+            # consumer sees an unchanged dict shape.
+            out["admission"] = {
+                "watermark": self.config.admission_watermark,
+                "admitted": sum(p.admitted_requests for p in self.partitions),
+                "shed": sum(p.shed_requests for p in self.partitions),
+                "peak_inflight": max(p.peak_inflight for p in self.partitions),
+                "inflight": sum(p.inflight for p in self.partitions),
+            }
         if self.partitions[0].integrity is not None:
             integ: dict[str, int] = {}
             for part in self.partitions:
@@ -152,6 +163,8 @@ class EFactoryServer(BaseServer):
         cfg = self.config
         key: bytes = msg.payload["key"]
         part = self.partition_for_key(key)
+        if not part.try_admit():
+            return busy_error(part), RESPONSE_BYTES
         budget = yield from part.acquire_budget()
         try:
             yield self.env.timeout(cfg.index_ns)
@@ -185,6 +198,7 @@ class EFactoryServer(BaseServer):
             return rpc_error(f"key {key!r}: no intact version", ERR_NO_INTACT), RESPONSE_BYTES
         finally:
             part.release_budget(budget)
+            part.depart()
 
     def _resolve_version(
         self, part: Partition, loc: ObjectLocation, key: bytes
@@ -225,6 +239,8 @@ class EFactoryServer(BaseServer):
         cfg = self.config
         key: bytes = msg.payload["key"]
         part = self.partition_for_key(key)
+        if not part.try_admit():
+            return busy_error(part), RESPONSE_BYTES
         budget = yield from part.acquire_budget()
         try:
             yield self.env.timeout(cfg.index_ns)
@@ -249,6 +265,7 @@ class EFactoryServer(BaseServer):
             return {"ok": True}, RESPONSE_BYTES
         finally:
             part.release_budget(budget)
+            part.depart()
 
     # -- maintenance -----------------------------------------------------------------
     def trigger_cleaning(self, part_id: Optional[int] = None) -> Optional[Event]:

@@ -21,6 +21,8 @@ Sites form a small hierarchy and patterns may end in ``.*``::
     bg.cleaner.compress  bg.cleaner.merge  bg.cleaner.finish
     recovery.step
     cluster.node0  cluster.node1  ...  (one site per cluster node)
+    admission.enter  admission.shed
+    loadgen.arrival
 
 so ``site="qp.*"`` targets every verb while ``site="qp.read"`` faults
 only one-sided READs.
@@ -117,6 +119,22 @@ FAULT_KINDS: dict[str, FaultKind] = {
             "RDMA torn, later verbs fail target_down), its processes "
             "stop, and its NVM is preserved but unreachable; the cluster "
             "failure detector must notice and promote a backup",
+        ),
+        FaultKind(
+            "admission_shed",
+            "admission.*",
+            "admission control force-sheds the request (retryable "
+            "ERR_BUSY) even below the watermark, exercising the client "
+            "backoff loop without real overload; only fires while "
+            "admission_watermark > 0 arms the site",
+        ),
+        FaultKind(
+            "client_stall",
+            "loadgen.*",
+            "the open-loop load generator defers this client's next "
+            "arrival by delay_ns (generator-side scheduling hiccup; the "
+            "op is late, not lost)",
+            uses_delay=True,
         ),
         FaultKind(
             "crash",

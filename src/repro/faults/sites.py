@@ -161,6 +161,20 @@ SITES: tuple[Site, ...] = (
         "per-node kill-poll visit (cluster.node0, cluster.node1, ...)",
         dynamic=True,
     ),
+    Site(
+        "admission",
+        "repro.baselines.partition",
+        "admission-control decision at handler entry (enter fires per "
+        "request while the watermark is armed; shed fires when one is "
+        "turned away with ERR_BUSY)",
+        members=("enter", "shed"),
+    ),
+    Site(
+        "loadgen",
+        "repro.loadgen.engine",
+        "open-loop load engine, per client arrival before the op issues",
+        members=("arrival",),
+    ),
 )
 
 

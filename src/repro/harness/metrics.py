@@ -59,6 +59,9 @@ class LatencyRecorder:
     def p99(self, kind: Optional[str] = None) -> float:
         return self.percentile(99.0, kind)
 
+    def p999(self, kind: Optional[str] = None) -> float:
+        return self.percentile(99.9, kind)
+
     def mean(self, kind: Optional[str] = None) -> float:
         arr = self.array(kind)
         return float(arr.mean()) if arr.size else float("nan")
@@ -74,6 +77,9 @@ class LatencySummary:
     p95_ns: float
     p99_ns: float
     max_ns: float
+    #: p99.9 — meaningful only for the thousand-client open-loop runs
+    #: (closed-loop cells rarely collect enough samples for it).
+    p999_ns: float = float("nan")
 
     @property
     def p50_us(self) -> float:
@@ -96,4 +102,5 @@ def summarize(recorder: LatencyRecorder, kind: Optional[str] = None) -> LatencyS
         p95_ns=float(np.percentile(arr, 95)),
         p99_ns=float(np.percentile(arr, 99)),
         max_ns=float(arr.max()),
+        p999_ns=float(np.percentile(arr, 99.9)),
     )

@@ -1,0 +1,17 @@
+"""Open-loop multi-tenant load engine (thousand-client scale-out)."""
+
+from repro.loadgen.arrivals import ArrivalCurve
+from repro.loadgen.bench import load_cell_spec, run_load_bench_suite
+from repro.loadgen.engine import LoadReport, LoadSpec, TenantResult, run_load
+from repro.loadgen.tenants import TenantSpec
+
+__all__ = [
+    "ArrivalCurve",
+    "LoadReport",
+    "LoadSpec",
+    "TenantResult",
+    "TenantSpec",
+    "load_cell_spec",
+    "run_load",
+    "run_load_bench_suite",
+]

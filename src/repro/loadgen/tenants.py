@@ -1,0 +1,57 @@
+"""Multi-tenant stream descriptions for the open-loop load engine.
+
+A *tenant* is one stream of offered load: a client population, a YCSB
+mix, an aggregate arrival rate shaped by an :class:`ArrivalCurve`, and
+a latency SLO. The engine gives every tenant a disjoint slice of the
+key space (multi-tenant isolation at the keyspace level; the fabric,
+server CPUs and dispatch budgets are shared — that contention is the
+point) and reports per-tenant percentiles and goodput-under-SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.loadgen.arrivals import ArrivalCurve
+from repro.workloads.ycsb import WorkloadSpec
+
+__all__ = ["TenantSpec"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered-load contract."""
+
+    name: str
+    workload: WorkloadSpec
+    #: Open-loop client processes driving this tenant's schedule.
+    clients: int = 1
+    #: Operations per client (the run ends when every schedule drains).
+    ops_per_client: int = 50
+    #: Aggregate mean arrival rate across the tenant's clients.
+    rate_ops_s: float = 1_000_000.0
+    #: Latency target; ops at or under it count toward goodput.
+    slo_ns: float = 20_000.0
+    curve: ArrivalCurve = field(default_factory=ArrivalCurve)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.clients < 1:
+            raise ConfigError("clients must be >= 1")
+        if self.ops_per_client < 1:
+            raise ConfigError("ops_per_client must be >= 1")
+        if self.rate_ops_s <= 0:
+            raise ConfigError("rate_ops_s must be positive")
+        if self.slo_ns <= 0:
+            raise ConfigError("slo_ns must be positive")
+
+    @property
+    def rate_per_client_per_ns(self) -> float:
+        """Mean per-client arrival rate in ops/ns (schedule units)."""
+        return self.rate_ops_s / self.clients / 1e9
+
+    @property
+    def total_ops(self) -> int:
+        return self.clients * self.ops_per_client

@@ -32,6 +32,7 @@ __all__ = [
     "ERR_UNKNOWN",
     "ERR_REPL_LAG",
     "ERR_FENCED",
+    "ERR_BUSY",
     "RETRYABLE_CODES",
 ]
 
@@ -51,10 +52,16 @@ ERR_REPL_LAG = "replication_lag"
 #: retryable on the same node: the client must refresh its route and
 #: resend to the new owner.
 ERR_FENCED = "write_fenced"
+#: Admission control shed this request: the partition's queue depth is
+#: over its watermark. Retryable — the client's backoff *is* the
+#: congestion-control loop (see DESIGN.md §15).
+ERR_BUSY = "server_busy"
 
 #: Codes that describe *transient* server-side conditions: the same
 #: request may succeed after cleaning/verification catches up.
-RETRYABLE_CODES = frozenset({ERR_POOL_EXHAUSTED, ERR_NO_INTACT, ERR_REPL_LAG})
+RETRYABLE_CODES = frozenset(
+    {ERR_POOL_EXHAUSTED, ERR_NO_INTACT, ERR_REPL_LAG, ERR_BUSY}
+)
 
 
 class RpcFault(StoreError):

@@ -14,10 +14,14 @@ from repro.workloads.ycsb import (
     ycsb_a,
     ycsb_b,
     ycsb_c,
+    ycsb_d,
+    ycsb_e,
     ycsb_f,
 )
 from repro.workloads.zipf import (
+    RotatingHotSet,
     ScrambledZipfian,
+    SkewedLatest,
     UniformGenerator,
     ZipfianGenerator,
     zeta,
@@ -25,7 +29,9 @@ from repro.workloads.zipf import (
 
 __all__ = [
     "Op",
+    "RotatingHotSet",
     "ScrambledZipfian",
+    "SkewedLatest",
     "UniformGenerator",
     "VALUE_HEADER_SIZE",
     "WORKLOADS",
@@ -38,6 +44,8 @@ __all__ = [
     "ycsb_a",
     "ycsb_b",
     "ycsb_c",
+    "ycsb_d",
+    "ycsb_e",
     "ycsb_f",
     "zeta",
 ]

@@ -1,19 +1,27 @@
 """YCSB-style workload specifications (paper §5.2).
 
-Four canned mixes over a long-tailed Zipfian key distribution:
+The full A–F core suite plus update-only, over long-tailed key
+distributions:
 
-=============  =====  =====  =====
-workload       GET    PUT    RMW
-=============  =====  =====  =====
-YCSB-C          100%    0%     0%
-YCSB-B           95%    5%     0%
-YCSB-A           50%   50%     0%
-YCSB-F           50%    0%    50%
-update-only       0%  100%     0%
-=============  =====  =====  =====
+=============  =====  =====  =====  =====  ==============
+workload       GET    PUT    RMW    SCAN   distribution
+=============  =====  =====  =====  =====  ==============
+YCSB-C          100%    0%     0%     0%   zipfian
+YCSB-B           95%    5%     0%     0%   zipfian
+YCSB-A           50%   50%     0%     0%   zipfian
+YCSB-D           95%    5%     0%     0%   latest
+YCSB-E            0%    5%     0%    95%   zipfian
+YCSB-F           50%    0%    50%     0%   zipfian
+update-only       0%  100%     0%     0%   zipfian
+=============  =====  =====  =====  =====  ==============
 
 (YCSB-F's read-modify-write is a GET followed by a dependent PUT of the
-same key — two store operations measured as one application op.)
+same key — two store operations measured as one application op.
+YCSB-D's "latest" skew targets the most recently inserted ids. The
+store has no range index, so YCSB-E's scans *degrade* to bursts of
+sequential point GETs — key ``k``, ``k+1``, … for a uniformly drawn
+scan length — which is exactly what a YCSB client does against a
+hash-only KV binding.)
 
 A workload pregenerates each client's operation stream (vectorised) so
 the simulation's hot loop does no distribution sampling.
@@ -27,7 +35,7 @@ from typing import Literal
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workloads.zipf import ScrambledZipfian, UniformGenerator
+from repro.workloads.zipf import ScrambledZipfian, SkewedLatest, UniformGenerator
 
 __all__ = [
     "WorkloadSpec",
@@ -35,6 +43,8 @@ __all__ = [
     "ycsb_a",
     "ycsb_b",
     "ycsb_c",
+    "ycsb_d",
+    "ycsb_e",
     "ycsb_f",
     "update_only",
     "WORKLOADS",
@@ -58,10 +68,14 @@ class WorkloadSpec:
     name: str
     read_fraction: float
     rmw_fraction: float = 0.0
+    #: Fraction of application ops that are scans; each expands into a
+    #: burst of 1..max_scan_len sequential point GETs (no range index).
+    scan_fraction: float = 0.0
+    max_scan_len: int = 16
     key_count: int = 2048
     key_len: int = 16
     value_len: int = 1024
-    distribution: Literal["zipfian", "uniform"] = "zipfian"
+    distribution: Literal["zipfian", "uniform", "latest"] = "zipfian"
     zipf_theta: float = 0.99
 
     def __post_init__(self) -> None:
@@ -71,6 +85,12 @@ class WorkloadSpec:
             raise WorkloadError(
                 "rmw_fraction must fit in the remaining op budget"
             )
+        if not 0.0 <= self.scan_fraction <= 1.0 - self.read_fraction - self.rmw_fraction:
+            raise WorkloadError(
+                "scan_fraction must fit in the remaining op budget"
+            )
+        if self.max_scan_len < 1:
+            raise WorkloadError("max_scan_len must be >= 1")
         if self.key_count <= 0:
             raise WorkloadError("key_count must be >= 1")
         if self.value_len < 16:
@@ -84,29 +104,61 @@ class WorkloadSpec:
     def _sampler(self):
         if self.distribution == "zipfian":
             return ScrambledZipfian(self.key_count, self.zipf_theta)
+        if self.distribution == "latest":
+            return SkewedLatest(self.key_count, self.zipf_theta)
         return UniformGenerator(self.key_count)
 
     def client_stream(
         self, rng: np.random.Generator, n_ops: int
     ) -> list[Op]:
-        """Pregenerate one client's operation list."""
+        """Pregenerate one client's operation list (exactly ``n_ops``
+        store operations; scan bursts are truncated at the budget)."""
         sampler = self._sampler()
         keys = np.asarray(sampler.sample(rng, n_ops))
         roll = rng.random(n_ops)
+        if self.scan_fraction == 0.0:
+            # The seed's exact two-draw sequence: streams of every
+            # scan-free workload stay bit-identical.
+            kinds = np.where(
+                roll < self.read_fraction,
+                "get",
+                np.where(roll < self.read_fraction + self.rmw_fraction, "rmw", "put"),
+            )
+            return [
+                Op(kind, int(k)) for kind, k in zip(kinds.tolist(), keys.tolist())
+            ]
+        scan_hi = self.read_fraction + self.rmw_fraction + self.scan_fraction
         kinds = np.where(
             roll < self.read_fraction,
             "get",
-            np.where(roll < self.read_fraction + self.rmw_fraction, "rmw", "put"),
+            np.where(
+                roll < self.read_fraction + self.rmw_fraction,
+                "rmw",
+                np.where(roll < scan_hi, "scan", "put"),
+            ),
         )
-        return [
-            Op(kind, int(k)) for kind, k in zip(kinds.tolist(), keys.tolist())
-        ]
+        lens = rng.integers(1, self.max_scan_len + 1, size=n_ops)
+        n = self.key_count
+        ops: list[Op] = []
+        for kind, k, length in zip(kinds.tolist(), keys.tolist(), lens.tolist()):
+            if kind == "scan":
+                for i in range(length):
+                    ops.append(Op("get", (int(k) + i) % n))
+                    if len(ops) == n_ops:
+                        break
+            else:
+                ops.append(Op(kind, int(k)))
+            if len(ops) == n_ops:
+                break
+        return ops
 
     def hot_keys(self, top: int = 10) -> list[int]:
         """The most popular key ids (diagnostics)."""
         sampler = self._sampler()
         if isinstance(sampler, UniformGenerator):
             return list(range(min(top, self.key_count)))
+        if isinstance(sampler, SkewedLatest):
+            return [self.key_count - 1 - i for i in range(min(top, self.key_count))]
         return [int(k) for k in sampler._map[:top]]
 
 
@@ -125,6 +177,20 @@ def ycsb_a(**kw) -> WorkloadSpec:
     return WorkloadSpec(name="YCSB-A", read_fraction=0.5, **kw)
 
 
+def ycsb_d(**kw) -> WorkloadSpec:
+    """Read-latest (95% GET / 5% PUT, skew toward recent inserts)."""
+    kw.setdefault("distribution", "latest")
+    return WorkloadSpec(name="YCSB-D", read_fraction=0.95, **kw)
+
+
+def ycsb_e(**kw) -> WorkloadSpec:
+    """Scan-heavy (95% scan / 5% PUT); scans degrade to point-GET
+    bursts — this store has no range index."""
+    return WorkloadSpec(
+        name="YCSB-E", read_fraction=0.0, scan_fraction=0.95, **kw
+    )
+
+
 def ycsb_f(**kw) -> WorkloadSpec:
     """Read-modify-write (50% GET / 50% RMW)."""
     return WorkloadSpec(name="YCSB-F", read_fraction=0.5, rmw_fraction=0.5, **kw)
@@ -135,11 +201,15 @@ def update_only(**kw) -> WorkloadSpec:
     return WorkloadSpec(name="update-only", read_fraction=0.0, **kw)
 
 
-#: The paper's four workloads in Figure 9 order (a..d).
+#: The paper's four workloads in Figure 9 order (a..d), then the rest of
+#: the YCSB core suite (D, E) — appended so every pre-existing sweep
+#: that iterates this dict keeps its original cell order.
 WORKLOADS = {
     "YCSB-C": ycsb_c,
     "YCSB-B": ycsb_b,
     "YCSB-A": ycsb_a,
     "YCSB-F": ycsb_f,
     "update-only": update_only,
+    "YCSB-D": ycsb_d,
+    "YCSB-E": ycsb_e,
 }

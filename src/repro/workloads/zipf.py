@@ -13,7 +13,14 @@ import numpy as np
 
 from repro.errors import WorkloadError
 
-__all__ = ["zeta", "ZipfianGenerator", "ScrambledZipfian", "UniformGenerator"]
+__all__ = [
+    "zeta",
+    "ZipfianGenerator",
+    "ScrambledZipfian",
+    "SkewedLatest",
+    "RotatingHotSet",
+    "UniformGenerator",
+]
 
 
 def zeta(n: int, theta: float) -> float:
@@ -84,6 +91,76 @@ class ScrambledZipfian:
         if size is None:
             return int(self._map[ranks])
         return self._map[np.asarray(ranks)]
+
+
+class SkewedLatest:
+    """YCSB's SkewedLatestGenerator: Zipfian skew anchored at the *end*
+    of the key space, so the most recently inserted ids are the hottest
+    (read-latest workloads — YCSB-D)."""
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        ranks = self._zipf.sample(rng, size)
+        if size is None:
+            return self.n - 1 - ranks
+        return (self.n - 1) - np.asarray(ranks)
+
+
+class RotatingHotSet:
+    """Zipfian popularity whose hot set *churns*: every ``rotate_every``
+    draws the rank→key scatter is re-salted, so a different slice of the
+    key space becomes hot (diurnal working-set drift, cache-busting).
+
+    Within one epoch this behaves exactly like :class:`ScrambledZipfian`
+    with an epoch-salted FNV scatter; across epochs the hottest keys
+    move. A vectorised ``sample`` call may span epoch boundaries — each
+    draw is salted with the epoch it falls in, so the stream is
+    identical whether sampled one draw at a time or in bulk, and fully
+    deterministic given the rng seed and construction parameters.
+    """
+
+    def __init__(
+        self, n: int, theta: float = 0.99, rotate_every: int = 10_000
+    ) -> None:
+        if rotate_every <= 0:
+            raise WorkloadError(
+                f"rotate_every must be >= 1, got {rotate_every}"
+            )
+        self.n = n
+        self.rotate_every = rotate_every
+        self._zipf = ZipfianGenerator(n, theta)
+        self._drawn = 0
+
+    @property
+    def epoch(self) -> int:
+        """Epoch the *next* draw falls in."""
+        return self._drawn // self.rotate_every
+
+    def _scatter(self, ranks: np.ndarray, epochs: np.ndarray) -> np.ndarray:
+        # Epoch-salted FNV-1a: fold the epoch into the high half of the
+        # hashed word so each epoch yields an unrelated scatter.
+        salted = ranks.astype(np.uint64) | (
+            epochs.astype(np.uint64) << np.uint64(32)
+        )
+        return ScrambledZipfian._scramble(salted, self.n)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        scalar = size is None
+        count = 1 if scalar else size
+        ranks = np.asarray(self._zipf.sample(rng, count))
+        epochs = (self._drawn + np.arange(count)) // self.rotate_every
+        self._drawn += count
+        keys = self._scatter(ranks, epochs)
+        return int(keys[0]) if scalar else keys
+
+    def hot_keys(self, top: int = 10, epoch: int | None = None) -> list[int]:
+        """The ``top`` hottest key ids of ``epoch`` (default: current)."""
+        e = self.epoch if epoch is None else epoch
+        ranks = np.arange(top, dtype=np.uint64)
+        return [int(k) for k in self._scatter(ranks, np.full(top, e))]
 
 
 class UniformGenerator:

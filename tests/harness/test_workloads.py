@@ -12,10 +12,14 @@ from repro.workloads.ycsb import (
     ycsb_a,
     ycsb_b,
     ycsb_c,
+    ycsb_d,
+    ycsb_e,
     ycsb_f,
 )
 from repro.workloads.zipf import (
+    RotatingHotSet,
     ScrambledZipfian,
+    SkewedLatest,
     UniformGenerator,
     ZipfianGenerator,
     zeta,
@@ -90,6 +94,76 @@ class TestZipf:
             UniformGenerator(-1)
 
 
+class TestSkewedLatest:
+    def test_latest_keys_are_hot(self):
+        gen = SkewedLatest(1000, theta=0.99)
+        rng = np.random.default_rng(10)
+        keys = np.asarray(gen.sample(rng, size=50_000))
+        assert keys.min() >= 0 and keys.max() < 1000
+        # the skew anchors at the end of the key space
+        assert np.mean(keys == 999) > 0.10
+        assert np.mean(keys >= 900) > np.mean(keys < 100)
+
+    def test_scalar(self):
+        k = SkewedLatest(10).sample(np.random.default_rng(11))
+        assert isinstance(k, int) and 0 <= k < 10
+
+
+class TestRotatingHotSet:
+    def test_seeded_determinism(self):
+        a = RotatingHotSet(512, rotate_every=100).sample(
+            np.random.default_rng(12), size=1000
+        )
+        b = RotatingHotSet(512, rotate_every=100).sample(
+            np.random.default_rng(12), size=1000
+        )
+        assert np.array_equal(a, b)
+
+    def test_bulk_equals_incremental(self):
+        """Bulk sampling across epoch boundaries must match drawing one
+        key at a time (each draw salted by the epoch it falls in)."""
+        rng_a = np.random.default_rng(13)
+        rng_b = np.random.default_rng(13)
+        gen_a = RotatingHotSet(256, rotate_every=7)
+        gen_b = RotatingHotSet(256, rotate_every=7)
+        bulk = gen_a.sample(rng_a, size=50)
+        singles = [gen_b.sample(rng_b) for _ in range(50)]
+        assert bulk.tolist() == singles
+
+    def test_rotation_moves_the_hot_set(self):
+        gen = RotatingHotSet(4096, rotate_every=1000)
+        hot0 = set(gen.hot_keys(top=20, epoch=0))
+        hot1 = set(gen.hot_keys(top=20, epoch=1))
+        assert hot0 != hot1
+        # re-salting is a scatter, not a shift: overlap is incidental
+        assert len(hot0 & hot1) < 10
+
+    def test_same_epoch_is_stable(self):
+        gen = RotatingHotSet(4096, rotate_every=1000)
+        assert gen.hot_keys(top=10, epoch=3) == gen.hot_keys(top=10, epoch=3)
+
+    def test_epoch_advances_with_draws(self):
+        gen = RotatingHotSet(128, rotate_every=50)
+        rng = np.random.default_rng(14)
+        assert gen.epoch == 0
+        gen.sample(rng, size=49)
+        assert gen.epoch == 0
+        gen.sample(rng)
+        assert gen.epoch == 1
+
+    def test_hot_keys_dominate_within_epoch(self):
+        gen = RotatingHotSet(1024, rotate_every=100_000)
+        rng = np.random.default_rng(15)
+        keys = gen.sample(rng, size=50_000)
+        hot = gen.hot_keys(top=10, epoch=0)
+        share = np.isin(keys, hot).mean()
+        assert share > 0.3  # zipf(0.99) mass of the top-10 ranks
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RotatingHotSet(100, rotate_every=0)
+
+
 class TestKeyspace:
     def test_make_key_fixed_width(self):
         assert make_key(0) == b"user000000000000"
@@ -155,8 +229,14 @@ class TestYcsbSpecs:
         assert update_only().read_fraction == 0.0
         assert ycsb_f().rmw_fraction == 0.5
         assert set(WORKLOADS) == {
-            "YCSB-C", "YCSB-B", "YCSB-A", "YCSB-F", "update-only"
+            "YCSB-C", "YCSB-B", "YCSB-A", "YCSB-D", "YCSB-E", "YCSB-F",
+            "update-only",
         }
+        # sweeps iterate WORKLOADS in order; the original five must keep
+        # their positions with D/E appended after them
+        assert list(WORKLOADS)[:5] == [
+            "YCSB-C", "YCSB-B", "YCSB-A", "YCSB-F", "update-only"
+        ]
 
     def test_client_stream_mix(self):
         spec = ycsb_b(key_count=100)
@@ -188,6 +268,63 @@ class TestYcsbSpecs:
         assert 0.45 < kinds["rmw"] / 4000 < 0.55
         assert 0.45 < kinds["get"] / 4000 < 0.55
 
+    def test_mix_ratio_convergence(self):
+        """Over 100k draws every mix converges to its nominal op ratios
+        (the load engine's per-tenant accounting depends on this)."""
+        rng = np.random.default_rng(20)
+        for factory, fractions in [
+            (ycsb_a, {"get": 0.50, "put": 0.50}),
+            (ycsb_b, {"get": 0.95, "put": 0.05}),
+            (ycsb_c, {"get": 1.0}),
+            (ycsb_f, {"get": 0.50, "rmw": 0.50}),
+            (update_only, {"put": 1.0}),
+        ]:
+            spec = factory(key_count=1024)
+            ops = spec.client_stream(rng, 100_000)
+            assert len(ops) == 100_000
+            from collections import Counter
+
+            kinds = Counter(op.kind for op in ops)
+            for kind, frac in fractions.items():
+                assert abs(kinds[kind] / 100_000 - frac) < 0.01, (
+                    spec.name, kind,
+                )
+
+    def test_ycsb_d_reads_latest(self):
+        spec = ycsb_d(key_count=1000)
+        ops = spec.client_stream(np.random.default_rng(21), 20_000)
+        gets = np.array([op.key_id for op in ops if op.kind == "get"])
+        assert gets.size > 18_000  # 95% reads
+        # "latest" skew: the high end of the id space dominates
+        assert np.mean(gets >= 900) > np.mean(gets < 100)
+        assert np.mean(gets == 999) > 0.10
+
+    def test_ycsb_e_scan_bursts(self):
+        spec = ycsb_e(key_count=512, max_scan_len=8)
+        n_ops = 20_000
+        ops = spec.client_stream(np.random.default_rng(22), n_ops)
+        # scans expand but the stream is truncated at exactly the budget
+        assert len(ops) == n_ops
+        kinds = {op.kind for op in ops}
+        assert kinds == {"get", "put"}  # scans degrade to point GETs
+        # ~5% puts of *application* ops; after expansion the put share
+        # of store ops shrinks by the mean scan length
+        put_frac = sum(1 for op in ops if op.kind == "put") / n_ops
+        assert 0.002 < put_frac < 0.04
+        # expansion produces sequential runs: many successors are +1
+        ids = np.array([op.key_id for op in ops])
+        seq = np.mean((ids[1:] - ids[:-1]) % 512 == 1)
+        assert seq > 0.5
+
+    def test_scan_free_stream_unchanged_by_scan_fields(self):
+        """Scan support must not disturb the rng draw sequence of
+        scan-free workloads (fig1/fig2 bit-identity)."""
+        a = ycsb_b(key_count=64).client_stream(np.random.default_rng(23), 500)
+        b = ycsb_b(key_count=64, max_scan_len=99).client_stream(
+            np.random.default_rng(23), 500
+        )
+        assert a == b
+
     def test_validation(self):
         with pytest.raises(WorkloadError):
             ycsb_a(key_count=0)
@@ -195,3 +332,8 @@ class TestYcsbSpecs:
             ycsb_a(value_len=8)
         with pytest.raises(WorkloadError):
             ycsb_c(rmw_fraction=0.5)  # 100% reads leave no rmw budget
+        with pytest.raises(WorkloadError):
+            ycsb_e(max_scan_len=0)
+        with pytest.raises(WorkloadError):
+            # scan budget exceeded: 95% reads leave only 5%
+            ycsb_b(scan_fraction=0.5)

@@ -21,7 +21,7 @@ def _ops_delta(client, fn):
     after = client.ep.stats
     return {
         k: after.get(k, 0) - before.get(k, 0)
-        for k in set(after) | set(before)
+        for k in sorted(set(after) | set(before))
         if after.get(k, 0) != before.get(k, 0)
     }
 
